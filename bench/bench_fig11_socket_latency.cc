@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 11: sensitivity to inter-socket hop latency (5/10/20/30 ns).
+ *
+ * Paper shape: C3D's speedup grows with inter-socket latency (more
+ * NUMA pain to remove) but stays >=1.10x even at an unrealistically
+ * fast 5 ns; c3d beats full-dir and snoopy at every point.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace c3d;
+    using namespace c3d::bench;
+
+    printHeader("Fig. 11: speedup vs inter-socket hop latency "
+                "(5/10/20/30 ns, geomean)",
+                "c3d >=1.10x even at 5ns; gains grow with latency; "
+                "c3d on top throughout");
+
+    const std::vector<std::uint64_t> lat_ns = {5, 10, 20, 30};
+    std::vector<std::string> rows;
+    std::vector<Series> series = {{"snoopy", {}},
+                                  {"full-dir", {}},
+                                  {"c3d", {}}};
+
+    const std::vector<WorkloadProfile> workloads = {
+        facesimProfile(), streamclusterProfile(), cannealProfile(),
+        nutchProfile()};
+
+    for (std::uint64_t ns : lat_ns) {
+        rows.push_back(std::to_string(ns) + "ns" +
+                       (ns == 20 ? " (default)" : ""));
+        std::vector<double> sn, fd, c3;
+        for (const WorkloadProfile &p : workloads) {
+            SystemConfig base_cfg = benchConfig(Design::Baseline);
+            base_cfg.hopLatency = nsToTicks(ns);
+            const RunResult base = runOne(base_cfg, p);
+            auto speedup = [&](Design d) {
+                SystemConfig cfg = benchConfig(d);
+                cfg.hopLatency = nsToTicks(ns);
+                const RunResult r = runOne(cfg, p);
+                return static_cast<double>(base.measuredTicks) /
+                    static_cast<double>(r.measuredTicks);
+            };
+            sn.push_back(speedup(Design::Snoopy));
+            fd.push_back(speedup(Design::FullDir));
+            c3.push_back(speedup(Design::C3D));
+        }
+        series[0].values.push_back(geomean(sn));
+        series[1].values.push_back(geomean(fd));
+        series[2].values.push_back(geomean(c3));
+    }
+
+    printTable(rows, series);
+    return 0;
+}

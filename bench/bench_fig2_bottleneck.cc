@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 2: NUMA bottleneck analysis. Speedup of idealized machines
+ * over the 4-socket baseline: zero inter-socket latency, infinite
+ * memory bandwidth, infinite QPI bandwidth, and both-infinite.
+ *
+ * Paper: 0-QPI-latency delivers 14-60% speedups; the bandwidth
+ * idealizations deliver little -- latency, not bandwidth, is the
+ * bottleneck.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace c3d;
+    using namespace c3d::bench;
+
+    printHeader("Fig. 2: NUMA bottleneck analysis (baseline machine "
+                "idealizations)",
+                "zero-QPI-latency speeds up 14-60%; infinite "
+                "bandwidth barely helps");
+
+    std::vector<std::string> names;
+    Series zero_lat{"0_qpi_lat", {}};
+    Series inf_mem{"inf_mem_bw", {}};
+    Series inf_qpi{"inf_qpi_bw", {}};
+    Series inf_both{"inf_both", {}};
+
+    for (const WorkloadProfile &p : parallelProfiles()) {
+        names.push_back(p.name);
+        SystemConfig cfg = benchConfig(Design::Baseline);
+        const RunResult base = runOne(cfg, p);
+
+        SystemConfig c1 = cfg;
+        c1.zeroHopLatency = true;
+        zero_lat.values.push_back(
+            static_cast<double>(base.measuredTicks) /
+            static_cast<double>(runOne(c1, p).measuredTicks));
+
+        SystemConfig c2 = cfg;
+        c2.infiniteMemBandwidth = true;
+        inf_mem.values.push_back(
+            static_cast<double>(base.measuredTicks) /
+            static_cast<double>(runOne(c2, p).measuredTicks));
+
+        SystemConfig c3 = cfg;
+        c3.infiniteLinkBandwidth = true;
+        inf_qpi.values.push_back(
+            static_cast<double>(base.measuredTicks) /
+            static_cast<double>(runOne(c3, p).measuredTicks));
+
+        SystemConfig c4 = cfg;
+        c4.infiniteMemBandwidth = true;
+        c4.infiniteLinkBandwidth = true;
+        inf_both.values.push_back(
+            static_cast<double>(base.measuredTicks) /
+            static_cast<double>(runOne(c4, p).measuredTicks));
+    }
+
+    printTable(names, {zero_lat, inf_mem, inf_qpi, inf_both});
+    std::printf("\npaper shape: 0_qpi_lat in 1.14-1.60x; bandwidth "
+                "columns near 1.0x\n");
+    return 0;
+}

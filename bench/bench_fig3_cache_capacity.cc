@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 3: memory accesses as a function of LLC capacity, normalized
+ * to a 16 MB LLC (functional cache model; the paper sweeps 64 MB,
+ * 256 MB and 1 GB).
+ *
+ * Paper: the 256 MB and 1 GB points eliminate 38.6-45.5% of memory
+ * accesses on average -- the temporal locality DRAM caches can
+ * capture lies beyond today's on-chip capacities.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "cache/capacity_analyzer.hh"
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace c3d;
+    using namespace c3d::bench;
+
+    printHeader("Fig. 3: memory accesses vs cache capacity "
+                "(normalized to 16 MB LLC)",
+                "64MB/256MB/1GB caches remove up to ~45% of memory "
+                "accesses on average");
+
+    // Functional model: full-size footprints and capacities, since no
+    // timing is simulated.
+    constexpr std::uint32_t Sockets = 4, CoresPerSocket = 8;
+    constexpr std::uint64_t RefsPerCore = 400000;
+    const std::vector<std::uint64_t> sizes_mb = {16, 64, 256, 1024};
+
+    std::vector<std::string> names;
+    std::vector<Series> series;
+    for (std::uint64_t mb : sizes_mb)
+        series.push_back({std::to_string(mb) + "MB", {}});
+
+    for (const WorkloadProfile &p : parallelProfiles()) {
+        names.push_back(p.name);
+        double base_misses = 0;
+        for (std::size_t i = 0; i < sizes_mb.size(); ++i) {
+            SyntheticWorkload wl(p, Sockets * CoresPerSocket,
+                                 CoresPerSocket);
+            const CapacityResult r = analyzeCapacity(
+                wl, Sockets, CoresPerSocket, sizes_mb[i] << 20,
+                /*ways=*/16, /*shared=*/false, RefsPerCore);
+            if (i == 0)
+                base_misses = static_cast<double>(r.cacheMisses);
+            series[i].values.push_back(
+                base_misses > 0
+                    ? static_cast<double>(r.cacheMisses) / base_misses
+                    : 1.0);
+        }
+    }
+
+    printTable(names, series);
+    std::printf("\npaper shape: monotone decrease; 1GB point around "
+                "0.55-0.61 of the 16MB baseline on average\n");
+    return 0;
+}

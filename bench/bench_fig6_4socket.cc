@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fig. 6: 4-socket (8 cores/socket) performance comparison. Speedup
+ * over the no-DRAM-cache baseline for snoopy, full-dir, c3d and
+ * c3d-full-dir.
+ *
+ * Paper shape: C3D wins everywhere (avg +19.2%, streamcluster
+ * +50.7%); snoopy slows most workloads down; full-dir hurts the
+ * communication-heavy PARSEC codes but helps server workloads
+ * (except nutch); c3d-full-dir is marginally better than c3d
+ * (20.3% vs 19.2%).
+ */
+
+#include "speedup_common.hh"
+
+int
+main()
+{
+    using namespace c3d::bench;
+    printHeader("Fig. 6: 4-socket (8 cores/socket) speedup vs "
+                "baseline",
+                "c3d avg ~1.19x (streamcluster 1.51x); snoopy mostly "
+                "<1.0x; c3d-full-dir ~1.20x");
+    runSpeedupComparison(4);
+    return 0;
+}

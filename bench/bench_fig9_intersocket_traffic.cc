@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 9: inter-socket traffic of every design normalized to the
+ * baseline, 4-socket machine.
+ *
+ * Paper shape: c3d carries ~35.9% less traffic than baseline and
+ * only ~5% more than full-dir / c3d-full-dir; snoopy carries much
+ * more (broadcast probes on every miss); c3d even beats full-dir on
+ * some workloads (e.g. facesim) because dirty remote hits cost
+ * full-dir extra data forwarding.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace c3d;
+    using namespace c3d::bench;
+
+    printHeader("Fig. 9: inter-socket traffic normalized to baseline",
+                "c3d ~0.64x of baseline, ~5% above full-dir; snoopy "
+                "well above 1x");
+
+    std::vector<std::string> names;
+    Series snoopy{"snoopy", {}};
+    Series fulldir{"full-dir", {}};
+    Series c3d{"c3d", {}};
+    Series c3dfd{"c3d-full-dir", {}};
+
+    for (const WorkloadProfile &p : parallelProfiles()) {
+        names.push_back(p.name);
+        const RunResult base =
+            runOne(benchConfig(Design::Baseline), p);
+        auto ratio = [&](Design d) {
+            const RunResult r = runOne(benchConfig(d), p);
+            return base.interSocketBytes
+                ? static_cast<double>(r.interSocketBytes) /
+                    static_cast<double>(base.interSocketBytes)
+                : 1.0;
+        };
+        snoopy.values.push_back(ratio(Design::Snoopy));
+        fulldir.values.push_back(ratio(Design::FullDir));
+        c3d.values.push_back(ratio(Design::C3D));
+        c3dfd.values.push_back(ratio(Design::C3DFullDir));
+    }
+
+    printTable(names, {snoopy, fulldir, c3d, c3dfd});
+    return 0;
+}

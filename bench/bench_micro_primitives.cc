@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator primitives: the
+ * event queue, tag array, miss predictor and RNG. These bound the
+ * simulator's own throughput (events/second), which determines how
+ * large a machine/trace the harness can afford.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/tag_array.hh"
+#include "common/rng.hh"
+#include "dramcache/miss_predictor.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    c3d::EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<c3d::Tick>(i & 7),
+                        [&sink] { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_TagArrayLookup(benchmark::State &state)
+{
+    c3d::TagArray tags;
+    tags.init(1 << 20, 16);
+    c3d::Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        tags.allocate(rng.below(1 << 20), c3d::CacheState::Shared);
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        hits += tags.find(rng.below(1 << 20)) != nullptr;
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayLookup);
+
+void
+BM_TagArrayAllocate(benchmark::State &state)
+{
+    c3d::TagArray tags;
+    tags.init(1 << 18, 8);
+    c3d::Rng rng(2);
+    for (auto _ : state) {
+        tags.allocate(rng.below(1 << 22) * c3d::BlockBytes,
+                      c3d::CacheState::Shared);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayAllocate);
+
+void
+BM_MissPredictor(benchmark::State &state)
+{
+    c3d::StatGroup stats("bench");
+    c3d::MissPredictor pred;
+    pred.init(4096, 4096, &stats, "pred");
+    c3d::Rng rng(3);
+    for (int i = 0; i < 4096; ++i)
+        pred.onInsert(rng.below(1u << 30));
+    std::uint64_t present = 0;
+    for (auto _ : state)
+        present += pred.mayBePresent(rng.below(1u << 30));
+    benchmark::DoNotOptimize(present);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MissPredictor);
+
+void
+BM_RngBelow(benchmark::State &state)
+{
+    c3d::Rng rng(4);
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += rng.below(12345);
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngBelow);
+
+} // namespace
+
+BENCHMARK_MAIN();

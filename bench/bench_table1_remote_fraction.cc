@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table I: fraction of memory accesses satisfied by a remote socket's
+ * memory under first-touch placement, 4-socket baseline machine.
+ *
+ * Paper values: facesim 76.6%, streamcluster 73.6%, freqmine 74.6%,
+ * fluidanimate 75.2%, canneal 75%, tunkrank 61.6%, nutch 75.2%,
+ * cassandra 75.2%, classification 75.2% (average 73.5%, i.e. only
+ * ~26.5% of accesses are local).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace c3d;
+    using namespace c3d::bench;
+
+    printHeader("Table I: remote-memory access fraction "
+                "(first-touch, 4-socket baseline)",
+                "61.6-76.6% of memory accesses are satisfied by a "
+                "remote socket");
+
+    const std::map<std::string, double> paper = {
+        {"facesim", 76.6},      {"streamcluster", 73.6},
+        {"freqmine", 74.6},     {"fluidanimate", 75.2},
+        {"canneal", 75.0},      {"tunkrank", 61.6},
+        {"nutch", 75.2},        {"cassandra", 75.2},
+        {"classification", 75.2}};
+
+    std::printf("%-16s %12s %12s\n", "workload", "paper", "measured");
+    double sum = 0;
+    int n = 0;
+    for (const WorkloadProfile &p : parallelProfiles()) {
+        SystemConfig cfg = benchConfig(Design::Baseline);
+        cfg.mapping = MappingPolicy::FirstTouch2;
+        const RunResult r = runOne(cfg, p);
+        const double frac = r.memAccesses()
+            ? 100.0 * static_cast<double>(r.remoteMemAccesses()) /
+                static_cast<double>(r.memAccesses())
+            : 0.0;
+        std::printf("%-16s %11.1f%% %11.1f%%\n", p.name.c_str(),
+                    paper.at(p.name), frac);
+        sum += frac;
+        ++n;
+    }
+    std::printf("%-16s %11.1f%% %11.1f%%\n", "average", 73.5,
+                sum / n);
+    return 0;
+}

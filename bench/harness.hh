@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Shared bench harness: runs workload x design sweeps on the scaled
+ * machine and prints paper-style tables with paper-reported reference
+ * values alongside measured ones.
+ *
+ * Scaling: benches run at 1/SCALE of the paper machine (capacities
+ * and workload footprints shrink together, preserving hit rates and
+ * protocol event mixes; DESIGN.md §4). Reference counts per core are
+ * reduced accordingly. Absolute numbers therefore differ from the
+ * paper; the shapes (who wins, by roughly what factor, where
+ * crossovers fall) are the reproduction target (EXPERIMENTS.md).
+ */
+
+#ifndef C3DSIM_BENCH_HARNESS_HH
+#define C3DSIM_BENCH_HARNESS_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/runner.hh"
+#include "trace/workload.hh"
+
+namespace c3d::bench
+{
+
+/** Default bench scale (1/32 of the paper machine). */
+constexpr std::uint32_t Scale = 32;
+/** References per core: warm-up and measurement windows. */
+constexpr std::uint64_t WarmupOps = 12000;
+constexpr std::uint64_t MeasureOps = 25000;
+
+/** Paper-machine config at bench scale. */
+inline SystemConfig
+benchConfig(Design design, std::uint32_t sockets = 4,
+            std::uint32_t scale = Scale)
+{
+    SystemConfig cfg;
+    cfg.numSockets = sockets;
+    cfg.coresPerSocket = sockets == 2 ? 16 : 8;
+    cfg.design = design;
+    return cfg.scaled(scale);
+}
+
+/**
+ * Warm-up quota for a profile: scan-dominated workloads need the
+ * rotating partition to cover each socket's DRAM cache (numSockets
+ * full iterations) before the window opens, mirroring the paper's
+ * 100M-access DRAM-cache warm-up.
+ */
+inline std::uint64_t
+warmupFor(const WorkloadProfile &unscaled)
+{
+    return unscaled.fracStream > 0.5 ? 45000 : WarmupOps;
+}
+
+/** Run one workload under one design. */
+inline RunResult
+runOne(const SystemConfig &cfg, const WorkloadProfile &unscaled,
+       std::uint32_t scale = Scale, std::uint64_t warmup = 0,
+       std::uint64_t measure = MeasureOps)
+{
+    setQuiet(true);
+    if (warmup == 0)
+        warmup = warmupFor(unscaled);
+    return runWorkload(cfg, unscaled.scaled(scale), warmup, measure);
+}
+
+/** Geometric mean of positive values. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** Print a standard bench header. */
+inline void
+printHeader(const char *experiment, const char *claim)
+{
+    std::printf("==================================================="
+                "=====================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper: %s\n", claim);
+    std::printf("machine scale 1/%u; shapes (not absolute numbers) "
+                "are the target\n", Scale);
+    std::printf("==================================================="
+                "=====================\n");
+}
+
+/** A named series of per-workload values for table printing. */
+struct Series
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/** Print workloads as rows, series as columns. */
+inline void
+printTable(const std::vector<std::string> &workloads,
+           const std::vector<Series> &series,
+           const char *value_format = "%12.3f")
+{
+    std::printf("%-16s", "workload");
+    for (const auto &s : series)
+        std::printf("%14s", s.name.c_str());
+    std::printf("\n");
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::printf("%-16s", workloads[w].c_str());
+        for (const auto &s : series) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), value_format,
+                          s.values.at(w));
+            std::printf("%14s", buf);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-16s", "geomean");
+    for (const auto &s : series) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), value_format,
+                      geomean(s.values));
+        std::printf("%14s", buf);
+    }
+    std::printf("\n");
+}
+
+} // namespace c3d::bench
+
+#endif // C3DSIM_BENCH_HARNESS_HH

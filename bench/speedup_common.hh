@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared driver for the Fig. 6 / Fig. 7 speedup comparisons: run all
+ * nine workloads under all five designs and print speedups vs the
+ * baseline without DRAM caches.
+ */
+
+#ifndef C3DSIM_BENCH_SPEEDUP_COMMON_HH
+#define C3DSIM_BENCH_SPEEDUP_COMMON_HH
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hh"
+
+namespace c3d::bench
+{
+
+inline void
+runSpeedupComparison(std::uint32_t sockets)
+{
+    std::vector<std::string> names;
+    Series snoopy{"snoopy", {}};
+    Series fulldir{"full-dir", {}};
+    Series c3d{"c3d", {}};
+    Series c3dfd{"c3d-full-dir", {}};
+
+    for (const WorkloadProfile &p : parallelProfiles()) {
+        names.push_back(p.name);
+        const RunResult base =
+            runOne(benchConfig(Design::Baseline, sockets), p);
+        auto speedup = [&](Design d) {
+            const RunResult r = runOne(benchConfig(d, sockets), p);
+            return static_cast<double>(base.measuredTicks) /
+                static_cast<double>(r.measuredTicks);
+        };
+        snoopy.values.push_back(speedup(Design::Snoopy));
+        fulldir.values.push_back(speedup(Design::FullDir));
+        c3d.values.push_back(speedup(Design::C3D));
+        c3dfd.values.push_back(speedup(Design::C3DFullDir));
+    }
+
+    printTable(names, {snoopy, fulldir, c3d, c3dfd});
+}
+
+} // namespace c3d::bench
+
+#endif // C3DSIM_BENCH_SPEEDUP_COMMON_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Coherence walkthrough: drive individual loads and stores through a
+ * small C3D machine and narrate the protocol actions (Fig. 5 of the
+ * paper), then verify the abstract protocol with the built-in model
+ * checker (§IV-C).
+ */
+
+#include <cstdio>
+
+#include "check/model_checker.hh"
+#include "coherence/directory_protocols.hh"
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/machine.hh"
+
+using namespace c3d;
+
+namespace
+{
+
+const char *
+stateName(CacheState s)
+{
+    switch (s) {
+      case CacheState::Invalid:
+        return "I";
+      case CacheState::Shared:
+        return "S";
+      case CacheState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+/** Issue one access and run the machine until it completes. */
+void
+access(Machine &m, SocketId socket, bool write, Addr addr,
+       const char *what)
+{
+    bool done = false;
+    if (write)
+        m.socket(socket).store(0, addr, false, [&] { done = true; });
+    else
+        m.socket(socket).load(0, addr, [&] { done = true; });
+    const Tick start = m.eventQueue().now();
+    while (!done && m.eventQueue().step()) {
+    }
+    m.eventQueue().run(); // quiesce writebacks
+    std::printf("  %-28s took %5llu ticks", what,
+                static_cast<unsigned long long>(
+                    m.eventQueue().now() - start));
+    std::printf("  [LLC: s0=%s s1=%s",
+                stateName(m.socket(0).llcState(addr)),
+                stateName(m.socket(1).llcState(addr)));
+    std::printf("  DRAM$: s0=%c s1=%c]\n",
+                m.socket(0).dramCache() &&
+                        m.socket(0).dramCache()->contains(addr)
+                    ? 'V' : '-',
+                m.socket(1).dramCache() &&
+                        m.socket(1).dramCache()->contains(addr)
+                    ? 'V' : '-');
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+
+    SystemConfig cfg;
+    cfg.numSockets = 2;
+    cfg.coresPerSocket = 1;
+    cfg.design = Design::C3D;
+    cfg = cfg.scaled(256);
+
+    Machine m(cfg);
+    const Addr block = 0x4000; // homed by first touch at socket 0
+
+    std::printf("C3D protocol walkthrough (2 sockets, block 0x%llx)\n\n",
+                static_cast<unsigned long long>(block));
+
+    access(m, 0, false, block, "s0 load (cold miss)");
+    access(m, 0, false, block, "s0 load (LLC hit)");
+    access(m, 1, false, block, "s1 load (remote, from memory)");
+    access(m, 1, true, block, "s1 store (GetX, invalidates)");
+    access(m, 0, false, block, "s0 load (fwd from s1 owner)");
+    access(m, 1, false, block, "s1 load (local again)");
+
+    // Force the block out of socket 1's LLC by conflicting fills so
+    // the DRAM cache serves the next access.
+    std::printf("\n  ... evicting the block from s1's LLC via "
+                "conflicting fills ...\n");
+    const std::uint64_t sets =
+        cfg.llcBytes / BlockBytes / cfg.llcWays;
+    for (std::uint32_t w = 0; w <= cfg.llcWays; ++w) {
+        const Addr conflict = block + (w + 1) * sets * BlockBytes;
+        access(m, 1, false, conflict, "s1 conflicting load");
+    }
+    access(m, 1, false, block, "s1 load (DRAM cache hit)");
+
+    std::printf("\nModel-checking the abstract protocol "
+                "(paper: Murphi, §IV-C):\n");
+    for (ModelVariant v : {ModelVariant::C3D, ModelVariant::C3DFullDir,
+                           ModelVariant::BugNoBroadcast,
+                           ModelVariant::BugNoWriteThrough}) {
+        CheckConfig cc;
+        cc.variant = v;
+        cc.numSockets = 3;
+        const CheckResult res = checkProtocol(cc);
+        std::printf("  %-22s: %s (%llu states)%s%s\n",
+                    modelVariantName(v),
+                    res.ok ? "coherent" : "VIOLATION",
+                    static_cast<unsigned long long>(
+                        res.statesExplored),
+                    res.ok ? "" : " - ",
+                    res.violation.c_str());
+    }
+    std::printf("\nThe injected-bug variants show both C3D insights "
+                "are load-bearing:\ndropping the broadcast or the "
+                "write-through breaks coherence.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Configurable design shootout: run any workload under any design and
+ * machine shape from the command line and print the full metric set.
+ *
+ *   ./design_shootout --workload=canneal --design=c3d --sockets=4
+ *   ./design_shootout --workload=nutch --design=full-dir \
+ *       --hop-ns=30 --scale=64
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "sim/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace c3d;
+    setQuiet(true);
+
+    CliOptions opt = parseCli(argc, argv);
+    if (opt.showHelp) {
+        std::fputs(cliUsage().c_str(), stdout);
+        return 0;
+    }
+    if (!opt.error.empty()) {
+        std::fprintf(stderr, "error: %s\n%s", opt.error.c_str(),
+                     cliUsage().c_str());
+        return 1;
+    }
+
+    WorkloadProfile prof = profileByName(opt.workload);
+    prof.seed = opt.seed;
+    const WorkloadProfile scaled = prof.scaled(opt.scale);
+
+    SyntheticWorkload wl(scaled, opt.config.totalCores(),
+                         opt.config.coresPerSocket);
+    Runner runner(opt.config, wl);
+    const RunResult r = runner.run(opt.warmupOps, opt.measureOps);
+
+    std::printf("machine:  %u sockets x %u cores, design %s, "
+                "mapping %s, scale 1/%u\n",
+                opt.config.numSockets, opt.config.coresPerSocket,
+                designName(opt.config.design),
+                mappingPolicyName(opt.config.mapping), opt.scale);
+    std::printf("workload: %s (footprint %.1f MB scaled)\n",
+                scaled.name.c_str(),
+                static_cast<double>(wl.footprintBytes()) / (1 << 20));
+    std::printf("\n");
+    std::printf("ticks              %12llu\n",
+                static_cast<unsigned long long>(r.measuredTicks));
+    std::printf("instructions       %12llu   (IPC %.3f)\n",
+                static_cast<unsigned long long>(r.instructions),
+                r.ipc());
+    std::printf("memory reads       %12llu   (%llu remote)\n",
+                static_cast<unsigned long long>(r.memReads),
+                static_cast<unsigned long long>(r.remoteMemReads));
+    std::printf("memory writes      %12llu   (%llu remote)\n",
+                static_cast<unsigned long long>(r.memWrites),
+                static_cast<unsigned long long>(r.remoteMemWrites));
+    std::printf("DRAM$ hits/misses  %12llu / %llu\n",
+                static_cast<unsigned long long>(r.dramCacheHits),
+                static_cast<unsigned long long>(r.dramCacheMisses));
+    std::printf("LLC misses         %12llu\n",
+                static_cast<unsigned long long>(r.llcMisses));
+    std::printf("inter-socket bytes %12llu\n",
+                static_cast<unsigned long long>(r.interSocketBytes));
+    std::printf("broadcasts         %12llu   (%llu elided)\n",
+                static_cast<unsigned long long>(r.broadcasts),
+                static_cast<unsigned long long>(r.broadcastsElided));
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * NUMA placement study: how much locality can OS page placement
+ * (INT / FT1 / FT2, §V) recover for workloads with shared data --
+ * and how much is left for C3D's DRAM caches.
+ *
+ * Reproduces the paper's motivation (§II, Table I): placement alone
+ * cannot localize shared working sets, so most memory accesses stay
+ * remote regardless of policy.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "sim/runner.hh"
+#include "trace/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace c3d;
+    setQuiet(true);
+
+    constexpr std::uint32_t Scale = 32;
+    const std::string which = argc > 1 ? argv[1] : "facesim";
+    const WorkloadProfile prof = profileByName(which).scaled(Scale);
+
+    SystemConfig cfg;
+    cfg = cfg.scaled(Scale);
+    cfg.design = Design::Baseline;
+
+    std::printf("Placement-policy study, workload '%s' "
+                "(baseline machine, no DRAM cache)\n\n",
+                prof.name.c_str());
+    std::printf("%-6s %14s %14s %16s\n", "policy", "remote reads",
+                "total reads", "remote fraction");
+
+    Tick best_ticks = 0;
+    MappingPolicy best = MappingPolicy::Interleave;
+    for (MappingPolicy p : {MappingPolicy::Interleave,
+                            MappingPolicy::FirstTouch1,
+                            MappingPolicy::FirstTouch2}) {
+        cfg.mapping = p;
+        const RunResult r = runWorkload(cfg, prof, 15000, 30000);
+        const double frac = r.memAccesses()
+            ? static_cast<double>(r.remoteMemAccesses()) /
+                static_cast<double>(r.memAccesses())
+            : 0.0;
+        std::printf("%-6s %14llu %14llu %15.1f%%\n",
+                    mappingPolicyName(p),
+                    static_cast<unsigned long long>(r.remoteMemReads),
+                    static_cast<unsigned long long>(r.memReads),
+                    100.0 * frac);
+        if (best_ticks == 0 || r.measuredTicks < best_ticks) {
+            best_ticks = r.measuredTicks;
+            best = p;
+        }
+    }
+
+    // Now show what a private DRAM cache recovers on top of the best
+    // policy (the paper's answer to the placement dead end).
+    cfg.mapping = best;
+    const RunResult base = runWorkload(cfg, prof, 15000, 30000);
+    cfg.design = Design::C3D;
+    const RunResult c3d = runWorkload(cfg, prof, 15000, 30000);
+
+    std::printf("\nBest policy: %s. Adding C3D DRAM caches on top:\n",
+                mappingPolicyName(best));
+    std::printf("  remote memory reads: %llu -> %llu (%.1f%% removed)\n",
+                static_cast<unsigned long long>(base.remoteMemReads),
+                static_cast<unsigned long long>(c3d.remoteMemReads),
+                base.remoteMemReads
+                    ? 100.0 * (1.0 -
+                          static_cast<double>(c3d.remoteMemReads) /
+                          static_cast<double>(base.remoteMemReads))
+                    : 0.0);
+    std::printf("  runtime: %llu -> %llu ticks (speedup %.2fx)\n",
+                static_cast<unsigned long long>(base.measuredTicks),
+                static_cast<unsigned long long>(c3d.measuredTicks),
+                static_cast<double>(base.measuredTicks) /
+                    static_cast<double>(c3d.measuredTicks));
+    return 0;
+}

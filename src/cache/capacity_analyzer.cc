@@ -1,0 +1,61 @@
+#include "cache/capacity_analyzer.hh"
+
+namespace c3d
+{
+
+CapacityResult
+analyzeCapacity(Workload &workload, std::uint32_t num_sockets,
+                std::uint32_t cores_per_socket,
+                std::uint64_t cache_bytes, std::uint32_t ways,
+                bool shared_cache, std::uint64_t refs_per_core)
+{
+    CapacityResult res;
+
+    const std::uint32_t total_cores = num_sockets * cores_per_socket;
+    const std::uint32_t active = workload.activeCores(total_cores);
+
+    std::vector<TagArray> caches;
+    if (shared_cache) {
+        // One pooled cache with the aggregate capacity; a block lives
+        // only in its home socket's slice, so there is exactly one
+        // copy machine-wide.
+        caches.resize(1);
+        caches[0].init(cache_bytes * num_sockets, ways);
+    } else {
+        caches.resize(num_sockets);
+        for (auto &c : caches)
+            c.init(cache_bytes, ways);
+    }
+
+    // Round-robin across cores mimics concurrent execution closely
+    // enough for occupancy purposes.
+    for (std::uint64_t i = 0; i < refs_per_core; ++i) {
+        for (std::uint32_t core = 0; core < active; ++core) {
+            const TraceOp op = workload.next(core);
+            ++res.references;
+
+            const SocketId socket = core / cores_per_socket;
+            const SocketId home = static_cast<SocketId>(
+                pageNumber(op.addr) % num_sockets);
+
+            TagArray &cache = shared_cache ? caches[0]
+                                           : caches[socket];
+            const Addr blk = blockAlign(op.addr);
+            if (TagEntry *e = cache.find(blk)) {
+                cache.touch(e);
+                if (op.op == MemOp::Write)
+                    e->state = CacheState::Modified;
+                continue;
+            }
+            ++res.cacheMisses;
+            if (home != socket)
+                ++res.remoteMisses;
+            cache.allocate(blk, op.op == MemOp::Write
+                                    ? CacheState::Modified
+                                    : CacheState::Shared);
+        }
+    }
+    return res;
+}
+
+} // namespace c3d

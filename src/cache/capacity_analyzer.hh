@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fast functional cache-capacity analysis (no timing).
+ *
+ * Backs the paper's capacity studies -- Fig. 3 (memory accesses as a
+ * function of LLC size, normalized to 16 MB) and the §II shared-vs-
+ * private DRAM-cache hit-rate comparison -- by replaying a workload's
+ * reference stream against tag arrays only. Orders of magnitude
+ * faster than the timing simulator, which matters for the 1 GB
+ * sweep points.
+ */
+
+#ifndef C3DSIM_CACHE_CAPACITY_ANALYZER_HH
+#define C3DSIM_CACHE_CAPACITY_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/tag_array.hh"
+#include "common/config.hh"
+#include "trace/workload.hh"
+
+namespace c3d
+{
+
+/** Result of a functional capacity run. */
+struct CapacityResult
+{
+    std::uint64_t references = 0;
+    std::uint64_t cacheMisses = 0;   //!< accesses reaching memory
+    std::uint64_t remoteMisses = 0;  //!< misses homed at another socket
+
+    double
+    missRate() const
+    {
+        return references
+            ? static_cast<double>(cacheMisses) / references : 0.0;
+    }
+};
+
+/**
+ * Replay @p refs_per_core references per core against per-socket
+ * caches of @p cache_bytes (@p ways-associative) and report miss
+ * counts. @p shared_cache pools all sockets' capacity into one cache
+ * (the §II-C "shared organization"); otherwise each socket has a
+ * private cache and misses homed remotely count as remote.
+ *
+ * Page homes use interleaved mapping (the policy-independent
+ * comparison the paper's Fig. 3 makes).
+ */
+CapacityResult
+analyzeCapacity(Workload &workload, std::uint32_t num_sockets,
+                std::uint32_t cores_per_socket,
+                std::uint64_t cache_bytes, std::uint32_t ways,
+                bool shared_cache, std::uint64_t refs_per_core);
+
+} // namespace c3d
+
+#endif // C3DSIM_CACHE_CAPACITY_ANALYZER_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Generic set-associative tag array with true-LRU replacement.
+ *
+ * Stores per-block coherence state and an auxiliary word (used by the
+ * LLC for its embedded local-directory sharing vector). The array is
+ * purely structural: timing is charged by the owning cache model.
+ */
+
+#ifndef C3DSIM_CACHE_TAG_ARRAY_HH
+#define C3DSIM_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace c3d
+{
+
+/** Coherence state of a block in an SRAM cache. */
+enum class CacheState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Modified,
+};
+
+/** One way of one set. */
+struct TagEntry
+{
+    Addr tag = 0;
+    CacheState state = CacheState::Invalid;
+    /** LLC use: bitmask of cores holding the block in their L1s. */
+    std::uint64_t aux = 0;
+    /** LRU stamp; larger is more recent. */
+    std::uint64_t lastUse = 0;
+
+    bool valid() const { return state != CacheState::Invalid; }
+};
+
+/** Result of a lookup-with-allocation. */
+struct AllocResult
+{
+    TagEntry *entry = nullptr; //!< slot now holding the new block
+    bool evictedValid = false; //!< a valid victim was displaced
+    Addr victimAddr = 0;       //!< block address of the victim
+    CacheState victimState = CacheState::Invalid;
+    std::uint64_t victimAux = 0;
+};
+
+/** Set-associative tag store. */
+class TagArray
+{
+  public:
+    TagArray() = default;
+
+    /**
+     * Size the array.
+     * @param capacity_bytes total data capacity
+     * @param ways associativity (1 == direct-mapped)
+     */
+    void
+    init(std::uint64_t capacity_bytes, std::uint32_t ways)
+    {
+        c3d_assert(ways >= 1, "associativity must be >= 1");
+        std::uint64_t blocks = capacity_bytes / BlockBytes;
+        if (blocks < ways)
+            blocks = ways;
+        sets = blocks / ways;
+        c3d_assert(sets >= 1, "cache too small");
+        numWays = ways;
+        entries.assign(sets * ways, TagEntry{});
+        useStamp = 0;
+    }
+
+    std::uint64_t numSets() const { return sets; }
+    std::uint32_t associativity() const { return numWays; }
+    std::uint64_t capacityBlocks() const { return sets * numWays; }
+
+    /**
+     * Find the block containing @p addr.
+     * @return entry pointer or nullptr on miss; does NOT update LRU.
+     */
+    TagEntry *
+    find(Addr addr)
+    {
+        const Addr blk = blockNumber(addr);
+        TagEntry *set = setBase(blk);
+        for (std::uint32_t w = 0; w < numWays; ++w) {
+            if (set[w].valid() && set[w].tag == blk)
+                return &set[w];
+        }
+        return nullptr;
+    }
+
+    const TagEntry *
+    find(Addr addr) const
+    {
+        return const_cast<TagArray *>(this)->find(addr);
+    }
+
+    /** Mark @p entry most-recently used. */
+    void
+    touch(TagEntry *entry)
+    {
+        entry->lastUse = ++useStamp;
+    }
+
+    /**
+     * Allocate a slot for @p addr, evicting the LRU way if the set is
+     * full. The returned entry is initialized to @p state and marked
+     * most-recently-used. If the block is already present the
+     * existing entry is reused (state overwritten, no eviction).
+     */
+    AllocResult
+    allocate(Addr addr, CacheState state)
+    {
+        AllocResult res;
+        const Addr blk = blockNumber(addr);
+        TagEntry *set = setBase(blk);
+
+        // Already present?
+        if (TagEntry *hit = find(addr)) {
+            hit->state = state;
+            touch(hit);
+            res.entry = hit;
+            return res;
+        }
+
+        // Prefer an invalid way.
+        TagEntry *victim = nullptr;
+        for (std::uint32_t w = 0; w < numWays; ++w) {
+            if (!set[w].valid()) {
+                victim = &set[w];
+                break;
+            }
+        }
+        // Otherwise evict true-LRU.
+        if (!victim) {
+            victim = &set[0];
+            for (std::uint32_t w = 1; w < numWays; ++w) {
+                if (set[w].lastUse < victim->lastUse)
+                    victim = &set[w];
+            }
+            res.evictedValid = true;
+            res.victimAddr = victim->tag << BlockShift;
+            res.victimState = victim->state;
+            res.victimAux = victim->aux;
+        }
+
+        victim->tag = blk;
+        victim->state = state;
+        victim->aux = 0;
+        touch(victim);
+        res.entry = victim;
+        return res;
+    }
+
+    /** Invalidate the block containing @p addr if present. */
+    bool
+    invalidate(Addr addr)
+    {
+        if (TagEntry *e = find(addr)) {
+            e->state = CacheState::Invalid;
+            e->aux = 0;
+            return true;
+        }
+        return false;
+    }
+
+    /** Count of valid blocks (linear scan; for tests/inspection). */
+    std::uint64_t
+    validBlocks() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &e : entries)
+            if (e.valid())
+                ++n;
+        return n;
+    }
+
+    /** Visit every valid entry (for recalls / inspection). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &e : entries) {
+            if (e.valid())
+                fn(e);
+        }
+    }
+
+  private:
+    TagEntry *
+    setBase(Addr blk)
+    {
+        return &entries[(blk % sets) * numWays];
+    }
+
+    std::uint64_t sets = 0;
+    std::uint32_t numWays = 0;
+    std::uint64_t useStamp = 0;
+    std::vector<TagEntry> entries;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_CACHE_TAG_ARRAY_HH

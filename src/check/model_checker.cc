@@ -1,0 +1,452 @@
+#include "check/model_checker.hh"
+
+#include <cstring>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace c3d
+{
+
+const char *
+modelVariantName(ModelVariant v)
+{
+    switch (v) {
+      case ModelVariant::C3D:
+        return "c3d";
+      case ModelVariant::C3DFullDir:
+        return "c3d-full-dir";
+      case ModelVariant::BugNoBroadcast:
+        return "bug-no-broadcast";
+      case ModelVariant::BugNoWriteThrough:
+        return "bug-no-write-through";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr std::uint32_t MaxSockets = 3;
+
+enum LlcState : std::uint8_t { LlcI = 0, LlcS = 1, LlcM = 2 };
+enum Pending : std::uint8_t
+{
+    PendNone = 0,
+    PendGetS = 1,
+    PendGetX = 2,
+    PendUpg = 3,
+};
+
+/** Abstract machine state (one block). */
+struct State
+{
+    // Per socket.
+    std::uint8_t llc[MaxSockets] = {LlcI, LlcI, LlcI};
+    std::uint8_t llcVer[MaxSockets] = {0, 0, 0};
+    std::uint8_t dcValid[MaxSockets] = {0, 0, 0};
+    std::uint8_t dcVer[MaxSockets] = {0, 0, 0};
+    std::uint8_t pending[MaxSockets] = {PendNone, PendNone, PendNone};
+
+    // Global directory (blocking; non-atomic invalidation phase).
+    std::uint8_t dirState = 0; //!< 0=I 1=S 2=M
+    std::uint8_t sharers = 0;
+    std::uint8_t owner = 0;
+    std::uint8_t busy = 0;     //!< invalidation phase active
+    std::uint8_t busyReq = 0;
+    std::uint8_t busyUpg = 0;  //!< busy request was an Upgrade
+    std::uint8_t invMask = 0;
+
+    std::uint8_t memVer = 0;
+    std::uint8_t curVer = 0;
+
+    std::uint64_t
+    pack() const
+    {
+        std::uint64_t v = 0;
+        auto push = [&v](std::uint64_t field, unsigned bits) {
+            v = (v << bits) | (field & ((1ull << bits) - 1));
+        };
+        for (unsigned i = 0; i < MaxSockets; ++i) {
+            push(llc[i], 2);
+            push(llcVer[i], 2);
+            push(dcValid[i], 1);
+            push(dcVer[i], 2);
+            push(pending[i], 2);
+        }
+        push(dirState, 2);
+        push(sharers, 3);
+        push(owner, 2);
+        push(busy, 1);
+        push(busyReq, 2);
+        push(busyUpg, 1);
+        push(invMask, 3);
+        push(memVer, 2);
+        push(curVer, 2);
+        return v;
+    }
+};
+
+/** Rule-based successor generator. */
+class Model
+{
+  public:
+    explicit Model(const CheckConfig &cfg)
+        : n(cfg.numSockets), vmax(cfg.maxVersion),
+          variant(cfg.variant)
+    {
+        c3d_assert(n >= 2 && n <= MaxSockets,
+                   "checker supports 2 or 3 sockets");
+        c3d_assert(vmax >= 1 && vmax <= 3, "version bound 1..3");
+    }
+
+    bool trackOnRead() const
+    {
+        return variant == ModelVariant::C3DFullDir;
+    }
+    bool broadcastOnI() const
+    {
+        return variant == ModelVariant::C3D ||
+            variant == ModelVariant::BugNoWriteThrough;
+    }
+    bool writeThrough() const
+    {
+        return variant != ModelVariant::BugNoWriteThrough;
+    }
+
+    /**
+     * Enumerate successors of @p s into @p out. @return number of
+     * enabled transitions.
+     */
+    std::size_t
+    successors(const State &s, std::vector<State> &out) const
+    {
+        out.clear();
+
+        for (std::uint32_t i = 0; i < n; ++i) {
+            // Rule: local DRAM-cache read hit promotes into the LLC.
+            if (s.llc[i] == LlcI && s.dcValid[i] &&
+                s.pending[i] == PendNone) {
+                State t = s;
+                t.llc[i] = LlcS;
+                t.llcVer[i] = s.dcVer[i];
+                out.push_back(t);
+            }
+            // Rule: issue GetS (LLC and DRAM cache both miss).
+            if (s.llc[i] == LlcI && !s.dcValid[i] &&
+                s.pending[i] == PendNone) {
+                State t = s;
+                t.pending[i] = PendGetS;
+                out.push_back(t);
+            }
+            // Rule: issue GetX (no copy) / Upgrade (Shared copy).
+            if (s.pending[i] == PendNone && s.curVer < vmax) {
+                if (s.llc[i] == LlcI) {
+                    State t = s;
+                    t.pending[i] = PendGetX;
+                    out.push_back(t);
+                } else if (s.llc[i] == LlcS) {
+                    State t = s;
+                    t.pending[i] = PendUpg;
+                    out.push_back(t);
+                }
+            }
+            // Rule: store hit on a Modified block.
+            if (s.llc[i] == LlcM && s.curVer < vmax) {
+                State t = s;
+                ++t.curVer;
+                t.llcVer[i] = t.curVer;
+                out.push_back(t);
+            }
+            // Rule: silent Shared LLC eviction into the DRAM cache.
+            if (s.llc[i] == LlcS) {
+                State t = s;
+                t.llc[i] = LlcI;
+                t.dcValid[i] = 1;
+                t.dcVer[i] = s.llcVer[i];
+                out.push_back(t);
+            }
+            // Rule: silent DRAM-cache eviction.
+            if (s.dcValid[i]) {
+                State t = s;
+                t.dcValid[i] = 0;
+                t.dcVer[i] = 0;
+                out.push_back(t);
+            }
+            // Rule: Modified LLC eviction -> PutX (blocking dir).
+            if (s.llc[i] == LlcM && !s.busy) {
+                State t = s;
+                t.llc[i] = LlcI;
+                t.dcValid[i] = 1;
+                t.dcVer[i] = s.llcVer[i];
+                if (writeThrough())
+                    t.memVer = s.llcVer[i];
+                // Directory: M -> I (c3d) or M -> S{i} (full-dir).
+                if (trackOnRead()) {
+                    t.dirState = 1;
+                    t.sharers = 1u << i;
+                    t.owner = 0;
+                } else {
+                    t.dirState = 0;
+                    t.sharers = 0;
+                    t.owner = 0;
+                }
+                out.push_back(t);
+            }
+            // Rule: directory processes a pending request.
+            if (s.pending[i] != PendNone && !s.busy)
+                processRequest(s, i, out);
+        }
+
+        // Rule: deliver one pending invalidation.
+        if (s.busy) {
+            for (std::uint32_t j = 0; j < n; ++j) {
+                if (s.invMask & (1u << j)) {
+                    State t = s;
+                    t.llc[j] = LlcI;
+                    t.llcVer[j] = 0;
+                    t.dcValid[j] = 0;
+                    t.dcVer[j] = 0;
+                    t.invMask &= ~(1u << j);
+                    if (t.invMask == 0)
+                        completeWrite(t);
+                    out.push_back(t);
+                }
+            }
+        }
+        return out.size();
+    }
+
+    /** Invariant check. @return empty string when OK. */
+    std::string
+    check(const State &s) const
+    {
+        // SWMR.
+        std::uint32_t m_holders = 0;
+        std::uint32_t m_socket = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (s.llc[i] == LlcM) {
+                ++m_holders;
+                m_socket = i;
+            }
+        }
+        if (m_holders > 1)
+            return "SWMR: two Modified holders";
+        if (m_holders == 1) {
+            for (std::uint32_t j = 0; j < n; ++j) {
+                if (j == m_socket)
+                    continue;
+                if (s.llc[j] != LlcI)
+                    return "SWMR: copy alive beside a Modified block";
+                if (s.dcValid[j])
+                    return "SWMR: DRAM-cache copy beside Modified";
+            }
+        }
+
+        // Data value: every readable copy carries the latest version.
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (s.llc[i] != LlcI && s.llcVer[i] != s.curVer)
+                return "data: LLC copy is stale";
+            if (s.dcValid[i] && s.dcVer[i] != s.curVer &&
+                s.llc[i] != LlcM) {
+                return "data: readable DRAM-cache copy is stale";
+            }
+        }
+
+        // Clean property: memory fresh unless the dir tracks an owner.
+        if (s.dirState != 2 && s.memVer != s.curVer)
+            return "clean: memory stale without a tracked owner";
+
+        // Shared-state vector is a superset of all holders.
+        if (s.dirState == 1) {
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const bool holds = s.llc[i] != LlcI || s.dcValid[i];
+                if (holds && !(s.sharers & (1u << i)))
+                    return "vector: holder missing from sharing vector";
+            }
+        }
+        return {};
+    }
+
+    bool
+    quiescent(const State &s) const
+    {
+        if (s.busy)
+            return false;
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (s.pending[i] != PendNone)
+                return false;
+        return true;
+    }
+
+    std::uint32_t sockets() const { return n; }
+
+  private:
+    /** Handle a pending request at the (idle) directory. */
+    void
+    processRequest(const State &s, std::uint32_t i,
+                   std::vector<State> &out) const
+    {
+        const std::uint8_t kind = s.pending[i];
+
+        if (kind == PendGetS) {
+            State t = s;
+            t.pending[i] = PendNone;
+            if (s.dirState == 2) {
+                // M at owner j: forward; owner downgrades and writes
+                // through (DRAM-cache refresh + memory update).
+                const std::uint32_t j = s.owner;
+                t.llc[j] = (s.llc[j] == LlcM)
+                    ? static_cast<std::uint8_t>(LlcS) : s.llc[j];
+                t.dcValid[j] = 1;
+                t.dcVer[j] = s.llcVer[j];
+                t.memVer = s.llcVer[j];
+                t.llc[i] = LlcS;
+                t.llcVer[i] = s.llcVer[j];
+                t.dirState = 1;
+                t.sharers = (1u << i) | (1u << j);
+                t.owner = 0;
+            } else {
+                // I or S: memory is fresh (clean property).
+                t.llc[i] = LlcS;
+                t.llcVer[i] = s.memVer;
+                if (s.dirState == 1) {
+                    t.sharers |= (1u << i);
+                } else if (trackOnRead()) {
+                    t.dirState = 1;
+                    t.sharers = (1u << i);
+                }
+            }
+            out.push_back(t);
+            return;
+        }
+
+        // GetX / Upgrade.
+        State t = s;
+        t.busyReq = i;
+        t.busyUpg = (kind == PendUpg) ? 1 : 0;
+        t.pending[i] = PendNone;
+
+        if (s.dirState == 2) {
+            // Owner transfer: invalidate the owner atomically (the
+            // single-target case has no interleaving of interest).
+            const std::uint32_t j = s.owner;
+            const std::uint8_t data_ver = s.llcVer[j];
+            t.llc[j] = LlcI;
+            t.llcVer[j] = 0;
+            t.dcValid[j] = 0;
+            t.dcVer[j] = 0;
+            (void)data_ver; // the write overwrites the data anyway
+            ++t.curVer;
+            t.llc[i] = LlcM;
+            t.llcVer[i] = t.curVer;
+            t.dirState = 2;
+            t.owner = i;
+            t.sharers = (1u << i);
+            out.push_back(t);
+            return;
+        }
+
+        std::uint8_t targets = 0;
+        if (s.dirState == 1) {
+            targets = s.sharers & ~(1u << i);
+        } else if (broadcastOnI() &&
+                   variant != ModelVariant::BugNoBroadcast) {
+            for (std::uint32_t j = 0; j < n; ++j)
+                if (j != i)
+                    targets |= (1u << j);
+        } else if (variant == ModelVariant::BugNoBroadcast ||
+                   !broadcastOnI()) {
+            targets = 0; // full-dir: I means nobody holds a copy
+        }
+
+        if (targets == 0) {
+            completeWriteInto(t, i);
+            out.push_back(t);
+            return;
+        }
+        t.busy = 1;
+        t.invMask = targets;
+        out.push_back(t);
+    }
+
+    /** Finish the busy write transaction in @p t. */
+    void
+    completeWrite(State &t) const
+    {
+        t.busy = 0;
+        t.invMask = 0;
+        completeWriteInto(t, t.busyReq);
+    }
+
+    void
+    completeWriteInto(State &t, std::uint32_t i) const
+    {
+        ++t.curVer;
+        t.llc[i] = LlcM;
+        t.llcVer[i] = t.curVer;
+        // The store makes any clean local DRAM-cache copy stale; the
+        // implementation invalidates it on completion.
+        t.dcValid[i] = 0;
+        t.dcVer[i] = 0;
+        t.dirState = 2;
+        t.owner = i;
+        t.sharers = (1u << i);
+        t.busyUpg = 0;
+        t.busyReq = 0;
+    }
+
+    const std::uint32_t n;
+    const std::uint32_t vmax;
+    const ModelVariant variant;
+};
+
+} // namespace
+
+CheckResult
+checkProtocol(const CheckConfig &cfg)
+{
+    Model model(cfg);
+    CheckResult res;
+
+    State init;
+    std::unordered_set<std::uint64_t> visited;
+    std::deque<State> frontier;
+
+    visited.insert(init.pack());
+    frontier.push_back(init);
+
+    std::vector<State> succ;
+    while (!frontier.empty()) {
+        const State s = frontier.front();
+        frontier.pop_front();
+        ++res.statesExplored;
+
+        const std::string bad = model.check(s);
+        if (!bad.empty()) {
+            res.ok = false;
+            res.violation = bad;
+            return res;
+        }
+
+        const std::size_t enabled = model.successors(s, succ);
+        if (enabled == 0 && !model.quiescent(s)) {
+            res.ok = false;
+            res.violation = "deadlock: pending work with no "
+                            "enabled transition";
+            return res;
+        }
+        res.transitionsFired += enabled;
+        for (const State &t : succ) {
+            if (visited.insert(t.pack()).second)
+                frontier.push_back(t);
+        }
+    }
+
+    res.ok = true;
+    return res;
+}
+
+} // namespace c3d

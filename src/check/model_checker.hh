@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Explicit-state model checker for the abstract C3D protocol.
+ *
+ * The paper verifies the C3D coherence protocol with Murphi, proving
+ * deadlock freedom, the Single-Writer-Multiple-Reader invariant and
+ * per-location sequential consistency (§IV-C). c3dsim carries its own
+ * explicit-state BFS checker over the same abstract machines: a
+ * blocking global directory (Invalid/Shared/Modified with a
+ * non-atomic invalidation phase), per-socket LLC (I/S/M) and clean
+ * DRAM cache (I/V), with symbolic data modelled as write version
+ * numbers.
+ *
+ * Checked invariants in every reachable state:
+ *  - SWMR: at most one socket holds Modified; while one does, no
+ *    other socket holds any valid copy (its own DRAM cache may hold a
+ *    stale one, exactly as §IV-C permits).
+ *  - Data value / per-location SC: every readable copy carries the
+ *    latest write version; a stale DRAM-cache copy may only exist
+ *    shielded behind the socket's own Modified LLC block.
+ *  - Clean property: while the directory is not in Modified, memory
+ *    holds the latest version.
+ *  - Sharing-vector validity: in Shared, the vector is a superset of
+ *    all sockets holding a copy.
+ *  - Deadlock freedom: every non-quiescent state has an enabled
+ *    transition.
+ *
+ * Deliberately injectable bugs (for negative testing and to
+ * demonstrate the insights' necessity): dropping the write broadcast
+ * (an untracked DRAM-cache copy survives a remote write) and dropping
+ * the write-through (memory goes stale under a clean-cache read).
+ */
+
+#ifndef C3DSIM_CHECK_MODEL_CHECKER_HH
+#define C3DSIM_CHECK_MODEL_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace c3d
+{
+
+/** Which abstract protocol to check. */
+enum class ModelVariant
+{
+    C3D,           //!< non-inclusive dir + broadcast on untracked GetX
+    C3DFullDir,    //!< inclusive tracking, no broadcasts
+    BugNoBroadcast, //!< C3D with the I-state broadcast removed
+    BugNoWriteThrough, //!< C3D with the PutX memory update removed
+};
+
+const char *modelVariantName(ModelVariant v);
+
+/** Checker parameters. */
+struct CheckConfig
+{
+    ModelVariant variant = ModelVariant::C3D;
+    std::uint32_t numSockets = 3; //!< 2 or 3
+    std::uint32_t maxVersion = 3; //!< write-depth bound (1..3)
+};
+
+/** Verification outcome. */
+struct CheckResult
+{
+    bool ok = false;
+    std::uint64_t statesExplored = 0;
+    std::uint64_t transitionsFired = 0;
+    std::string violation; //!< empty when ok
+};
+
+/** Exhaustively explore the protocol state space. */
+CheckResult checkProtocol(const CheckConfig &cfg);
+
+} // namespace c3d
+
+#endif // C3DSIM_CHECK_MODEL_CHECKER_HH

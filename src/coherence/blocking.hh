@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-block transaction serialization at a directory slice.
+ *
+ * The simulated directories are blocking: at most one coherence
+ * transaction per block is in flight; later requests queue in arrival
+ * order and start when the active transaction releases the block.
+ * Blocking directories are a common commercial design point and keep
+ * the transient-state space small enough to verify exhaustively (the
+ * model checker in src/check covers the same machines).
+ */
+
+#ifndef C3DSIM_COHERENCE_BLOCKING_HH
+#define C3DSIM_COHERENCE_BLOCKING_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace c3d
+{
+
+/** Serializes transactions per block address. */
+class BlockingTable
+{
+  public:
+    using Start = std::function<void()>;
+
+    void
+    init(StatGroup *stats, const std::string &name)
+    {
+        conflicts.init(stats, name + ".blocked",
+                       "transactions that waited for the block");
+        admitted.init(stats, name + ".admitted",
+                      "transactions admitted");
+    }
+
+    /**
+     * Acquire the block for a transaction. If the block is free the
+     * transaction starts immediately (@p start runs inline);
+     * otherwise it queues and runs when released.
+     */
+    void
+    acquire(Addr addr, Start start)
+    {
+        const Addr blk = blockNumber(addr);
+        auto [it, inserted] = table.emplace(blk, Waiters{});
+        ++admitted;
+        if (inserted) {
+            start();
+        } else {
+            ++conflicts;
+            it->second.push_back(std::move(start));
+        }
+    }
+
+    /**
+     * Release the block; the oldest queued transaction (if any)
+     * starts inline.
+     */
+    void
+    release(Addr addr)
+    {
+        const Addr blk = blockNumber(addr);
+        auto it = table.find(blk);
+        c3d_assert(it != table.end(), "release of unlocked block");
+        if (it->second.empty()) {
+            table.erase(it);
+            return;
+        }
+        Start next = std::move(it->second.front());
+        it->second.pop_front();
+        next();
+    }
+
+    /** Whether a transaction currently owns @p addr's block. */
+    bool
+    isBusy(Addr addr) const
+    {
+        return table.count(blockNumber(addr)) != 0;
+    }
+
+    std::size_t activeBlocks() const { return table.size(); }
+    std::uint64_t blockedCount() const { return conflicts.value(); }
+
+  private:
+    using Waiters = std::deque<Start>;
+    std::unordered_map<Addr, Waiters> table;
+    Counter conflicts;
+    Counter admitted;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_COHERENCE_BLOCKING_HH

@@ -1,0 +1,501 @@
+#include "coherence/directory_protocols.hh"
+
+namespace c3d
+{
+
+DirectoryProtocol::DirectoryProtocol(Machine &machine, StatGroup *stats,
+                                     const char *design_name,
+                                     DirPolicy policy,
+                                     bool sparse_storage)
+    : ProtocolBase(machine, stats), designName(design_name),
+      policy(policy)
+{
+    const SystemConfig &c = cfg();
+    dirs.reserve(c.numSockets);
+    for (SocketId s = 0; s < c.numSockets; ++s) {
+        const std::string nm = "dir" + std::to_string(s);
+        if (sparse_storage) {
+            // Table II: sparse 2x over one LLC's blocks, 32-way,
+            // socket-grain sharing vector.
+            const std::uint64_t entries =
+                (c.llcBytes / BlockBytes) * c.sparseDirFactor;
+            dirs.push_back(std::make_unique<SparseDirectory>(
+                entries, c.sparseDirWays, c.numSockets, stats, nm));
+        } else {
+            dirs.push_back(std::make_unique<FullDirectory>(
+                c.numSockets, stats, nm));
+        }
+    }
+
+    readsFromMemory.init(stats, "proto.reads_from_memory",
+                         "GetS served by home memory");
+    readsFromOwner.init(stats, "proto.reads_from_owner",
+                        "GetS served by a remote owner socket");
+    writesServedByOwner.init(stats, "proto.writes_from_owner",
+                             "GetX served by a remote owner socket");
+}
+
+DirectoryStore::Evictable
+DirectoryProtocol::notBusyAt(SocketId home)
+{
+    return [this, home](Addr a) {
+        return !homeLocks[home].isBusy(a);
+    };
+}
+
+std::function<bool(Addr)>
+DirectoryProtocol::trackedAt(SocketId home)
+{
+    return [this, home](Addr a) {
+        return dirs[home]->find(a) != nullptr;
+    };
+}
+
+// --------------------------------------------------------------------
+// GetS
+// --------------------------------------------------------------------
+
+void
+DirectoryProtocol::getS(SocketId req, Addr addr, ReadDone done)
+{
+    const SocketId home = m.homeOf(addr, req);
+    sendCtrl(req, home, [this, req, home, addr,
+                         done = std::move(done)]() mutable {
+        homeLocks[home].acquire(addr, [this, req, home, addr,
+                                       done = std::move(done)]() mutable {
+            eq().schedule(cfg().globalDirLatency,
+                          [this, req, home, addr,
+                           done = std::move(done)]() mutable {
+                handleGetS(req, home, addr, std::move(done));
+            });
+        });
+    });
+}
+
+void
+DirectoryProtocol::serveFromMemory(SocketId req, SocketId home,
+                                   Addr addr,
+                                   std::function<void()> deliver)
+{
+    ++readsFromMemory;
+    m.socket(home).memory().read(addr, /*remote=*/req != home,
+                                 [this, req, home,
+                                  deliver = std::move(deliver)]() mutable {
+        sendData(home, req, std::move(deliver));
+    });
+}
+
+void
+DirectoryProtocol::handleGetS(SocketId req, SocketId home, Addr addr,
+                              ReadDone done)
+{
+    auto finish = [this, home, addr, done = std::move(done)] {
+        done();
+        homeLocks[home].release(addr);
+    };
+
+    DirEntry *e = dirs[home]->find(addr);
+    if (watchingBlock(addr)) {
+        watchTrace(eq().now(), "handleGetS",
+                   "req %u home %u state %d sharers %llx", req, home,
+                   e ? static_cast<int>(e->state) : -1,
+                   e ? static_cast<unsigned long long>(e->sharers)
+                     : 0ull);
+    }
+
+    if (e && e->state == DirState::Modified && e->owner != req) {
+        // Slow remote hit path (§III-B Fig. 4): forward to the owner.
+        const SocketId owner = e->owner;
+        ++fwdRequests;
+        sendCtrl(home, owner, [this, req, home, owner, addr,
+                               finish = std::move(finish)]() mutable {
+            m.socket(owner).probeDowngrade(addr,
+                                           [this, req, home, owner, addr,
+                                            finish = std::move(finish)]
+                                           (bool dirty) mutable {
+                DirEntry *e2 = dirs[home]->find(addr);
+                if (e2) {
+                    // M -> S with {owner, req}; the owner stays in
+                    // the vector even on a writeback race so any
+                    // DRAM-cache copy it retains remains covered by
+                    // future invalidations.
+                    e2->state = DirState::Shared;
+                    e2->sharers = 0;
+                    e2->addSharer(owner);
+                    e2->addSharer(req);
+                    e2->owner = InvalidSocket;
+                }
+                if (dirty) {
+                    ++dirtyFwds;
+                    ++readsFromOwner;
+                    // Reflective writeback keeps memory fresh.
+                    sendData(owner, home, [this, home, addr] {
+                        m.socket(home).memory().write(addr, false);
+                    });
+                    sendData(owner, req, std::move(finish));
+                } else {
+                    // The owner wrote the block back concurrently.
+                    ++fwdRaces;
+                    serveFromMemory(req, home, addr, std::move(finish));
+                }
+            });
+        });
+        return;
+    }
+
+    if (e && e->state == DirState::Shared) {
+        e->addSharer(req);
+        serveFromMemory(req, home, addr, std::move(finish));
+        return;
+    }
+
+    if (e && e->state == DirState::Modified && e->owner == req) {
+        // Writeback race: the requester's PutX is still in flight.
+        // Memory semantically receives that data first; serve it.
+        ++fwdRaces;
+        e->state = DirState::Shared;
+        e->sharers = 0;
+        e->addSharer(req);
+        e->owner = InvalidSocket;
+        serveFromMemory(req, home, addr, std::move(finish));
+        return;
+    }
+
+    // Untracked (Invalid): memory is fresh by the clean-cache /
+    // inclusivity invariant of every directory design.
+    if (policy.allocateOnRead) {
+        DirRecall recall;
+        DirEntry *ne = dirs[home]->allocate(addr, recall,
+                                            notBusyAt(home));
+        ne->state = DirState::Shared;
+        ne->sharers = 0;
+        ne->addSharer(req);
+        resolveRecall(home, recall, trackedAt(home));
+    }
+    serveFromMemory(req, home, addr, std::move(finish));
+}
+
+// --------------------------------------------------------------------
+// GetX / Upgrade
+// --------------------------------------------------------------------
+
+void
+DirectoryProtocol::getX(SocketId req, Addr addr, bool has_shared_copy,
+                        bool private_page, WriteDone done)
+{
+    const SocketId home = m.homeOf(addr, req);
+    sendCtrl(req, home, [this, req, home, addr, has_shared_copy,
+                         private_page, done = std::move(done)]() mutable {
+        const Tick lock_req_at = eq().now();
+        homeLocks[home].acquire(addr,
+                                [this, req, home, addr, has_shared_copy,
+                                 private_page, lock_req_at,
+                                 done = std::move(done)]() mutable {
+            lockWaitTime.sample(eq().now() - lock_req_at);
+            eq().schedule(cfg().globalDirLatency,
+                          [this, req, home, addr, has_shared_copy,
+                           private_page,
+                           done = std::move(done)]() mutable {
+                handleGetX(req, home, addr, has_shared_copy,
+                           private_page, std::move(done));
+            });
+        });
+    });
+}
+
+void
+DirectoryProtocol::respondWrite(SocketId req, SocketId home, Addr addr,
+                                bool with_data, WriteDone done)
+{
+    auto finish = [this, home, addr, done = std::move(done)] {
+        done();
+        homeLocks[home].release(addr);
+    };
+    if (with_data) {
+        serveFromMemory(req, home, addr, std::move(finish));
+    } else {
+        sendCtrl(home, req, std::move(finish));
+    }
+}
+
+void
+DirectoryProtocol::handleGetX(SocketId req, SocketId home, Addr addr,
+                              bool upgrade, bool private_page,
+                              WriteDone done)
+{
+    DirEntry *e = dirs[home]->find(addr);
+    if (watchingBlock(addr)) {
+        watchTrace(eq().now(), "handleGetX",
+                   "req %u home %u upg %d state %d sharers %llx", req,
+                   home, upgrade ? 1 : 0,
+                   e ? static_cast<int>(e->state) : -1,
+                   e ? static_cast<unsigned long long>(e->sharers)
+                     : 0ull);
+    }
+
+    if (e && e->state == DirState::Modified && e->owner != req) {
+        // Ownership transfer: invalidate the owner; it forwards the
+        // dirty block directly to the requester.
+        const SocketId owner = e->owner;
+        ++fwdRequests;
+        auto finish = [this, home, addr, done = std::move(done)] {
+            done();
+            homeLocks[home].release(addr);
+        };
+        sendCtrl(home, owner, [this, req, home, owner, addr,
+                               finish = std::move(finish)]() mutable {
+            m.socket(owner).probeInvalidate(addr,
+                                            [this, req, home, owner,
+                                             addr,
+                                             finish = std::move(finish)]
+                                            (bool dirty) mutable {
+                DirEntry *e2 = dirs[home]->find(addr);
+                if (e2) {
+                    e2->state = DirState::Modified;
+                    e2->owner = req;
+                    e2->sharers = 0;
+                    e2->addSharer(req);
+                }
+                if (dirty) {
+                    ++dirtyFwds;
+                    ++writesServedByOwner;
+                    sendData(owner, req, std::move(finish));
+                } else {
+                    ++fwdRaces;
+                    serveFromMemory(req, home, addr, std::move(finish));
+                }
+            });
+        });
+        return;
+    }
+
+    if (e && e->state == DirState::Modified && e->owner == req) {
+        // PutX race: requester is re-acquiring a block whose
+        // writeback is still queued. Grant directly.
+        ++fwdRaces;
+        respondWrite(req, home, addr, /*with_data=*/!upgrade,
+                     std::move(done));
+        return;
+    }
+
+    if (e && e->state == DirState::Shared) {
+        const bool req_tracked = e->isSharer(req);
+        const std::vector<SocketId> targets = sharersOf(*e, req);
+        e->state = DirState::Modified;
+        e->owner = req;
+        e->sharers = 0;
+        e->addSharer(req);
+        // The upgrade can only be a permission grant if the
+        // requester's copy is still covered by the vector.
+        const bool with_data = !(upgrade && req_tracked);
+        invalidateSockets(home, targets, addr,
+                          [this, req, home, addr, with_data,
+                           done = std::move(done)](bool) mutable {
+            respondWrite(req, home, addr, with_data, std::move(done));
+        });
+        return;
+    }
+
+    // Untracked (Invalid) write.
+    DirRecall recall;
+    DirEntry *ne = dirs[home]->allocate(addr, recall,
+                                        notBusyAt(home));
+    ne->state = DirState::Modified;
+    ne->owner = req;
+    ne->sharers = 0;
+    ne->addSharer(req);
+    resolveRecall(home, recall, trackedAt(home));
+
+    const bool with_data = !upgrade;
+    if (policy.broadcastOnUntrackedWrite) {
+        const bool elide = policy.privatePagesElideBroadcast &&
+            cfg().tlbPageClassification && private_page;
+        if (!elide) {
+            // §IV-C: broadcast invalidations to every remote DRAM
+            // cache; the response leaves once both the acks have
+            // returned and the memory data (read in parallel with
+            // the probes, §V-A) is ready.
+            ++broadcasts;
+            auto join = std::make_shared<WriteJoin>();
+            join->finish = [this, home, addr,
+                            done = std::move(done)] {
+                done();
+                homeLocks[home].release(addr);
+            };
+            join->memPending = with_data;
+            join->acksPending = true;
+
+            if (with_data) {
+                ++readsFromMemory;
+                m.socket(home).memory().read(
+                    addr, req != home, [this, req, home, join] {
+                    sendData(home, req, [join] {
+                        join->memPending = false;
+                        join->tryFinish();
+                    });
+                });
+            }
+            invalidateSockets(home, othersThan(req), addr,
+                              [this, req, home, join,
+                               with_data](bool saw_dirty) {
+                if (saw_dirty) {
+                    // Clean DRAM caches can never hold dirty data;
+                    // a dirty find here means an on-chip M copy
+                    // slipped out of tracking (writeback race).
+                    ++fwdRaces;
+                }
+                if (!with_data) {
+                    // Upgrade: the grant travels after the acks.
+                    sendCtrl(home, req, [join] {
+                        join->acksPending = false;
+                        join->tryFinish();
+                    });
+                } else {
+                    join->acksPending = false;
+                    join->tryFinish();
+                }
+            });
+            return;
+        }
+        ++broadcastsElided;
+    }
+    respondWrite(req, home, addr, with_data, std::move(done));
+}
+
+// --------------------------------------------------------------------
+// Writebacks
+// --------------------------------------------------------------------
+
+void
+DirectoryProtocol::putX(SocketId req, Addr addr)
+{
+    const SocketId home = m.homeOf(addr, req);
+    sendData(req, home, [this, req, home, addr] {
+        homeLocks[home].acquire(addr, [this, req, home, addr] {
+            eq().schedule(cfg().globalDirLatency,
+                          [this, req, home, addr] {
+                m.socket(home).memory().write(addr,
+                                              /*remote=*/req != home);
+                if (watchingBlock(addr))
+                    watchTrace(eq().now(), "putX", "from %u", req);
+                DirEntry *e = dirs[home]->find(addr);
+                if (e && e->state == DirState::Modified &&
+                    e->owner == req &&
+                    m.socket(req).llcState(addr) !=
+                        CacheState::Modified) {
+                    if (policy.putXKeepsSharer) {
+                        // c3d-full-dir: the evicting socket retains a
+                        // clean copy in its DRAM cache; keep it
+                        // tracked as a sharer (M -> S).
+                        e->state = DirState::Shared;
+                        e->sharers = 0;
+                        e->addSharer(req);
+                        e->owner = InvalidSocket;
+                    } else {
+                        dirs[home]->erase(addr);
+                    }
+                }
+                homeLocks[home].release(addr);
+            });
+        });
+    });
+}
+
+void
+DirectoryProtocol::dramCacheEvicted(SocketId req, Addr addr, bool dirty)
+{
+    const SocketId home = m.homeOf(addr, req);
+
+    if (dirty) {
+        // Dirty DRAM-cache victim: write back to home memory and drop
+        // the directory entry (dirty designs only).
+        sendData(req, home, [this, req, home, addr] {
+            homeLocks[home].acquire(addr, [this, req, home, addr] {
+                eq().schedule(cfg().globalDirLatency,
+                              [this, req, home, addr] {
+                    m.socket(home).memory().write(
+                        addr, /*remote=*/req != home);
+                    DirEntry *e = dirs[home]->find(addr);
+                    if (e && e->state == DirState::Modified &&
+                        e->owner == req) {
+                        dirs[home]->erase(addr);
+                    }
+                    homeLocks[home].release(addr);
+                });
+            });
+        });
+        return;
+    }
+
+    if (!policy.trackDramCacheEvictions)
+        return; // silent clean eviction (sparse / snoop designs)
+
+    // Inclusive directory bookkeeping: clear the sharer bit unless
+    // the socket still holds the block on chip.
+    sendCtrl(req, home, [this, req, home, addr] {
+        homeLocks[home].acquire(addr, [this, req, home, addr] {
+            eq().schedule(cfg().globalDirLatency,
+                          [this, req, home, addr] {
+                DirEntry *e = dirs[home]->find(addr);
+                if (e && e->state == DirState::Shared &&
+                    m.socket(req).llcState(addr) ==
+                        CacheState::Invalid) {
+                    e->removeSharer(req);
+                    if (e->sharerCount() == 0)
+                        dirs[home]->erase(addr);
+                }
+                homeLocks[home].release(addr);
+            });
+        });
+    });
+}
+
+// --------------------------------------------------------------------
+// Factories
+// --------------------------------------------------------------------
+
+std::unique_ptr<GlobalProtocol>
+makeBaselineProtocol(Machine &m, StatGroup *stats)
+{
+    DirPolicy p;
+    p.allocateOnRead = true;
+    p.broadcastOnUntrackedWrite = false;
+    return std::make_unique<DirectoryProtocol>(m, stats, "baseline", p,
+                                               /*sparse=*/true);
+}
+
+std::unique_ptr<GlobalProtocol>
+makeFullDirProtocol(Machine &m, StatGroup *stats)
+{
+    DirPolicy p;
+    p.allocateOnRead = true;
+    p.broadcastOnUntrackedWrite = false;
+    p.trackDramCacheEvictions = true;
+    return std::make_unique<DirectoryProtocol>(m, stats, "full-dir", p,
+                                               /*sparse=*/false);
+}
+
+std::unique_ptr<GlobalProtocol>
+makeC3DProtocol(Machine &m, StatGroup *stats)
+{
+    DirPolicy p;
+    p.allocateOnRead = false; // non-inclusive: reads stay untracked
+    p.broadcastOnUntrackedWrite = true;
+    p.privatePagesElideBroadcast = true;
+    return std::make_unique<DirectoryProtocol>(m, stats, "c3d", p,
+                                               /*sparse=*/true);
+}
+
+std::unique_ptr<GlobalProtocol>
+makeC3DFullDirProtocol(Machine &m, StatGroup *stats)
+{
+    DirPolicy p;
+    p.allocateOnRead = true;
+    p.broadcastOnUntrackedWrite = false; // precise vector: no bcast
+    p.putXKeepsSharer = true;            // M -> S on writeback
+    p.trackDramCacheEvictions = true;
+    return std::make_unique<DirectoryProtocol>(m, stats, "c3d-full-dir",
+                                               p, /*sparse=*/false);
+}
+
+} // namespace c3d

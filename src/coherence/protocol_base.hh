@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Shared machinery for the global-protocol implementations: packet
+ * helpers, per-home blocking tables, invalidation fan-out/fan-in, and
+ * the common stat set.
+ */
+
+#ifndef C3DSIM_COHERENCE_PROTOCOL_BASE_HH
+#define C3DSIM_COHERENCE_PROTOCOL_BASE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coherence/blocking.hh"
+#include "coherence/directory.hh"
+#include "coherence/protocol.hh"
+#include "common/stats.hh"
+#include "sim/machine.hh"
+
+namespace c3d
+{
+
+/** Common protocol plumbing. */
+class ProtocolBase : public GlobalProtocol
+{
+  public:
+    ProtocolBase(Machine &machine, StatGroup *stats)
+        : m(machine)
+    {
+        homeLocks.resize(m.numSockets());
+        for (SocketId s = 0; s < m.numSockets(); ++s) {
+            homeLocks[s].init(stats,
+                              "proto.home" + std::to_string(s));
+        }
+        fwdRequests.init(stats, "proto.forwards",
+                         "requests forwarded to an owner socket");
+        fwdRaces.init(stats, "proto.forward_races",
+                      "forwards that found no copy (writeback race)");
+        invsSent.init(stats, "proto.invalidations",
+                      "invalidation probes sent");
+        broadcasts.init(stats, "proto.broadcasts",
+                        "write misses that broadcast invalidations");
+        broadcastsElided.init(stats, "proto.broadcasts_elided",
+                              "broadcasts skipped via private pages");
+        recallInvs.init(stats, "proto.recall_invalidations",
+                        "sharers invalidated by directory recalls");
+        dirtyFwds.init(stats, "proto.dirty_forwards",
+                       "dirty blocks supplied by a remote socket");
+        invPhaseTime.init(stats, "proto.inv_phase_time",
+                          "invalidation fan-out ticks (send to all-"
+                          "acked)");
+        lockWaitTime.init(stats, "proto.lock_wait_time",
+                          "ticks a request waited for the block lock");
+    }
+
+  protected:
+    EventQueue &eq() { return m.eventQueue(); }
+    const SystemConfig &cfg() const { return m.config(); }
+
+    void
+    sendCtrl(SocketId src, SocketId dst, std::function<void()> cb)
+    {
+        m.interconnect().send(src, dst, PacketKind::Control,
+                              std::move(cb));
+    }
+
+    void
+    sendData(SocketId src, SocketId dst, std::function<void()> cb)
+    {
+        m.interconnect().send(src, dst, PacketKind::Data,
+                              std::move(cb));
+    }
+
+    /**
+     * Fan out invalidation probes to @p targets; @p done runs at the
+     * home socket once every ack has returned. Dirty finds are
+     * reported through @p on_dirty (at most one in a correct run).
+     */
+    void
+    invalidateSockets(SocketId home, const std::vector<SocketId> &targets,
+                      Addr addr, std::function<void(bool)> done)
+    {
+        if (targets.empty()) {
+            eq().schedule(0, [done = std::move(done)] { done(false); });
+            return;
+        }
+        auto state = std::make_shared<FanIn>();
+        state->remaining = targets.size();
+        const Tick phase_start = eq().now();
+        state->done = [this, phase_start,
+                       done = std::move(done)](bool dirty) {
+            invPhaseTime.sample(eq().now() - phase_start);
+            done(dirty);
+        };
+        for (SocketId t : targets) {
+            ++invsSent;
+            sendCtrl(home, t, [this, t, addr, home, state] {
+                m.socket(t).probeInvalidate(addr,
+                                            [this, t, home, state]
+                                            (bool dirty) {
+                    // Ack back to the home.
+                    sendCtrl(t, home, [state, dirty] {
+                        if (dirty)
+                            state->sawDirty = true;
+                        if (--state->remaining == 0)
+                            state->done(state->sawDirty);
+                    });
+                });
+            });
+        }
+    }
+
+    /** All sockets except @p exclude. */
+    std::vector<SocketId>
+    othersThan(SocketId exclude) const
+    {
+        std::vector<SocketId> v;
+        for (SocketId s = 0; s < m.numSockets(); ++s)
+            if (s != exclude)
+                v.push_back(s);
+        return v;
+    }
+
+    /** Sharer-vector sockets except @p exclude. */
+    std::vector<SocketId>
+    sharersOf(const DirEntry &e, SocketId exclude) const
+    {
+        std::vector<SocketId> v;
+        for (SocketId s = 0; s < m.numSockets(); ++s)
+            if (s != exclude && e.isSharer(s))
+                v.push_back(s);
+        return v;
+    }
+
+    /**
+     * Resolve a directory recall: invalidate the victim entry's
+     * holders and write dirty data back to memory. Runs entirely off
+     * the requester's critical path.
+     */
+    /**
+     * Resolve a directory recall: invalidate the victim entry's
+     * holders and write dirty data back to memory. Runs under the
+     * victim block's lock, off the requester's critical path.
+     * @param reallocated queried under the lock; a truthy result
+     *        means a new transaction already re-established an entry
+     *        for the block, making the recall moot.
+     */
+    void
+    resolveRecall(SocketId home, const DirRecall &recall,
+                  std::function<bool(Addr)> reallocated = {})
+    {
+        if (!recall.valid)
+            return;
+        std::vector<SocketId> targets;
+        if (recall.entry.state == DirState::Modified) {
+            targets.push_back(recall.entry.owner);
+        } else {
+            targets = sharersOf(recall.entry, InvalidSocket);
+        }
+        recallInvs += targets.size();
+        const Addr addr = recall.addr;
+        // Serialize against any transaction in flight for the
+        // recalled block (we hold a different block's lock, so this
+        // deferred acquisition cannot deadlock).
+        homeLocks[home].acquire(
+            addr, [this, home, addr, targets,
+                   reallocated = std::move(reallocated)] {
+            if (reallocated && reallocated(addr)) {
+                homeLocks[home].release(addr);
+                return;
+            }
+            invalidateSockets(home, targets, addr,
+                              [this, home, addr](bool dirty) {
+                if (dirty) {
+                    m.socket(home).memory().write(addr,
+                                                  /*remote=*/false);
+                }
+                homeLocks[home].release(addr);
+            });
+        });
+    }
+
+    Machine &m;
+    std::vector<BlockingTable> homeLocks;
+
+    Counter fwdRequests;
+    Counter fwdRaces;
+    Counter invsSent;
+    Counter broadcasts;
+    Counter broadcastsElided;
+    Counter recallInvs;
+    Counter dirtyFwds;
+    Histogram invPhaseTime;
+    Histogram lockWaitTime;
+
+  private:
+    struct FanIn
+    {
+        std::size_t remaining = 0;
+        bool sawDirty = false;
+        std::function<void(bool)> done;
+    };
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_COHERENCE_PROTOCOL_BASE_HH

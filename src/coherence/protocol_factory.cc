@@ -1,0 +1,28 @@
+#include "coherence/protocol.hh"
+
+#include "coherence/directory_protocols.hh"
+#include "coherence/snoopy_protocol.hh"
+#include "common/log.hh"
+
+namespace c3d
+{
+
+std::unique_ptr<GlobalProtocol>
+makeProtocol(Design design, Machine &machine, StatGroup *stats)
+{
+    switch (design) {
+      case Design::Baseline:
+        return makeBaselineProtocol(machine, stats);
+      case Design::Snoopy:
+        return makeSnoopyProtocol(machine, stats);
+      case Design::FullDir:
+        return makeFullDirProtocol(machine, stats);
+      case Design::C3D:
+        return makeC3DProtocol(machine, stats);
+      case Design::C3DFullDir:
+        return makeC3DFullDirProtocol(machine, stats);
+    }
+    c3d_panic("unknown design");
+}
+
+} // namespace c3d

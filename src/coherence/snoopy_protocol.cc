@@ -1,0 +1,180 @@
+#include "coherence/snoopy_protocol.hh"
+
+namespace c3d
+{
+
+SnoopyProtocol::SnoopyProtocol(Machine &machine, StatGroup *stats)
+    : ProtocolBase(machine, stats)
+{
+    snoops.init(stats, "proto.snoops", "snoop probes sent");
+    snoopHitsDirty.init(stats, "proto.snoop_dirty_hits",
+                        "snoops that supplied dirty data");
+    snoopMemoryServed.init(stats, "proto.snoop_memory_served",
+                           "snoop transactions served by memory");
+}
+
+namespace
+{
+
+/** Join state for a broadcast transaction. */
+struct SnoopJoin
+{
+    std::size_t pendingProbes = 0;
+    bool memPending = false;
+    bool dirtyDataArrived = false;
+    bool completed = false;
+    std::function<void()> done;
+
+    void
+    tryComplete()
+    {
+        if (completed)
+            return;
+        // Complete as soon as dirty data arrives (the owner supplied
+        // the block), or when every ack and the memory data are in.
+        if (dirtyDataArrived ||
+            (pendingProbes == 0 && !memPending)) {
+            completed = true;
+            done();
+        }
+    }
+};
+
+} // namespace
+
+void
+SnoopyProtocol::broadcastTransaction(SocketId req, Addr addr,
+                                     bool is_write,
+                                     bool with_memory_read,
+                                     std::function<void()> done)
+{
+    // The home socket is the ordering point (home-snoop flavour, as
+    // in QPI): same-block transactions serialize there, which keeps
+    // concurrent GetX from creating two owners.
+    const SocketId home = m.homeOf(addr, req);
+    sendCtrl(req, home, [this, req, home, addr, is_write,
+                         with_memory_read,
+                         done = std::move(done)]() mutable {
+        homeLocks[home].acquire(
+            addr, [this, req, home, addr, is_write, with_memory_read,
+                   done = std::move(done)]() mutable {
+                runBroadcast(req, home, addr, is_write,
+                             with_memory_read,
+                             [this, home, addr,
+                              done = std::move(done)] {
+                    done();
+                    homeLocks[home].release(addr);
+                });
+            });
+    });
+}
+
+void
+SnoopyProtocol::runBroadcast(SocketId req, SocketId home, Addr addr,
+                             bool is_write, bool with_memory_read,
+                             std::function<void()> done)
+{
+    auto join = std::make_shared<SnoopJoin>();
+    join->done = std::move(done);
+
+    const std::vector<SocketId> targets = othersThan(req);
+    join->pendingProbes = targets.size();
+    join->memPending = with_memory_read;
+
+    // Parallel memory access at the home socket (§V-A: "we access
+    // the memory in parallel with probing remote caches").
+    if (with_memory_read) {
+        m.socket(home).memory().read(addr, req != home,
+                                     [this, req, home, join] {
+            sendData(home, req, [join] {
+                join->memPending = false;
+                join->tryComplete();
+            });
+        });
+    }
+
+    for (SocketId t : targets) {
+        ++snoops;
+        // Probes fan out from the ordering point; the home "probing
+        // itself" is a local action (no interconnect traffic).
+        sendCtrl(home, t, [this, req, t, addr, is_write, join] {
+            m.socket(t).snoopProbe(addr, is_write,
+                                   [this, req, t, addr, join]
+                                   (SnoopResult res) {
+                if (res.suppliedDirty) {
+                    ++snoopHitsDirty;
+                    ++dirtyFwds;
+                    // Dirty data goes straight to the requester;
+                    // memory is refreshed reflectively.
+                    const SocketId hm = m.homeOf(addr, req);
+                    sendData(t, hm, [this, hm, addr] {
+                        m.socket(hm).memory().write(addr, false);
+                    });
+                    sendData(t, req, [join] {
+                        --join->pendingProbes;
+                        join->dirtyDataArrived = true;
+                        join->tryComplete();
+                    });
+                } else {
+                    sendCtrl(t, req, [join] {
+                        --join->pendingProbes;
+                        join->tryComplete();
+                    });
+                }
+            });
+        });
+    }
+
+    if (targets.empty() && !with_memory_read) {
+        eq().schedule(0, [join] { join->tryComplete(); });
+    }
+}
+
+void
+SnoopyProtocol::getS(SocketId req, Addr addr, ReadDone done)
+{
+    broadcastTransaction(req, addr, /*is_write=*/false,
+                         /*with_memory_read=*/true, std::move(done));
+}
+
+void
+SnoopyProtocol::getX(SocketId req, Addr addr, bool has_shared_copy,
+                     bool /*private_page*/, WriteDone done)
+{
+    // An upgrade needs no data: invalidation acks suffice. A full
+    // GetX reads memory in parallel with the invalidating probes.
+    broadcastTransaction(req, addr, /*is_write=*/true,
+                         /*with_memory_read=*/!has_shared_copy,
+                         std::move(done));
+}
+
+void
+SnoopyProtocol::putX(SocketId req, Addr addr)
+{
+    // Only the baseline/clean designs emit PutX; snoopy sinks dirty
+    // LLC victims into the DRAM cache. Reaching here means the
+    // machine was configured without a DRAM cache: write to memory.
+    const SocketId home = m.homeOf(addr, req);
+    sendData(req, home, [this, req, home, addr] {
+        m.socket(home).memory().write(addr, req != home);
+    });
+}
+
+void
+SnoopyProtocol::dramCacheEvicted(SocketId req, Addr addr, bool dirty)
+{
+    if (!dirty)
+        return; // silent clean eviction
+    const SocketId home = m.homeOf(addr, req);
+    sendData(req, home, [this, req, home, addr] {
+        m.socket(home).memory().write(addr, req != home);
+    });
+}
+
+std::unique_ptr<GlobalProtocol>
+makeSnoopyProtocol(Machine &m, StatGroup *stats)
+{
+    return std::make_unique<SnoopyProtocol>(m, stats);
+}
+
+} // namespace c3d

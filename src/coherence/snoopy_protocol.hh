@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Snoopy inter-socket coherence (§III-A).
+ *
+ * Every local miss broadcasts probes to all remote sockets while the
+ * home memory is accessed in parallel. All remote sockets must search
+ * their DRAM caches (miss predictor permitting), so the furthest
+ * socket's response latency sits on the critical path -- the "slow
+ * remote hit" pathology -- even when no socket holds a copy.
+ */
+
+#ifndef C3DSIM_COHERENCE_SNOOPY_PROTOCOL_HH
+#define C3DSIM_COHERENCE_SNOOPY_PROTOCOL_HH
+
+#include <memory>
+
+#include "coherence/protocol_base.hh"
+
+namespace c3d
+{
+
+/** Broadcast-snooping protocol over dirty DRAM caches. */
+class SnoopyProtocol : public ProtocolBase
+{
+  public:
+    SnoopyProtocol(Machine &machine, StatGroup *stats);
+
+    void getS(SocketId req, Addr addr, ReadDone done) override;
+    void getX(SocketId req, Addr addr, bool has_shared_copy,
+              bool private_page, WriteDone done) override;
+    void putX(SocketId req, Addr addr) override;
+    void dramCacheEvicted(SocketId req, Addr addr, bool dirty) override;
+
+    const char *name() const override { return "snoopy"; }
+
+  private:
+    /** Route to the home ordering point, then broadcast. */
+    void broadcastTransaction(SocketId req, Addr addr, bool is_write,
+                              bool with_memory_read,
+                              std::function<void()> done);
+
+    /** The broadcast itself, run with the home block lock held. */
+    void runBroadcast(SocketId req, SocketId home, Addr addr,
+                      bool is_write, bool with_memory_read,
+                      std::function<void()> done);
+
+    Counter snoops;
+    Counter snoopHitsDirty;
+    Counter snoopMemoryServed;
+};
+
+std::unique_ptr<GlobalProtocol>
+makeSnoopyProtocol(Machine &m, StatGroup *stats);
+
+} // namespace c3d
+
+#endif // C3DSIM_COHERENCE_SNOOPY_PROTOCOL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Command-line configuration for c3dsim tools.
+ *
+ * Examples and user binaries accept a common set of flags to build a
+ * SystemConfig and pick workloads without recompiling:
+ *
+ *   --design=c3d|baseline|snoopy|full-dir|c3d-full-dir
+ *   --sockets=N --cores-per-socket=N
+ *   --scale=N                 (capacities /N; pair with workload scale)
+ *   --mapping=INT|FT1|FT2
+ *   --workload=<profile name> --warmup=N --measure=N
+ *   --dram-cache-ns=N --hop-ns=N --mem-ns=N
+ *   --no-dram-cache --tlb-classification
+ *   --seed=N
+ */
+
+#ifndef C3DSIM_COMMON_CLI_HH
+#define C3DSIM_COMMON_CLI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace c3d
+{
+
+/** Parsed command line for a c3dsim tool. */
+struct CliOptions
+{
+    SystemConfig config;           //!< already scaled
+    std::uint32_t scale = 32;      //!< machine/workload scale divisor
+    std::string workload = "facesim";
+    std::uint64_t warmupOps = 15000;
+    std::uint64_t measureOps = 25000;
+    std::uint64_t seed = 0xC3D0;
+    bool showHelp = false;
+    std::string error;             //!< non-empty on parse failure
+
+    bool ok() const { return error.empty() && !showHelp; }
+};
+
+/**
+ * Parse @p args (not including argv[0]). Unknown flags produce an
+ * error; `--help` sets showHelp. The returned config has scaling
+ * already applied.
+ */
+CliOptions parseCli(const std::vector<std::string> &args);
+
+/** Convenience overload for main(argc, argv). */
+CliOptions parseCli(int argc, char **argv);
+
+/** Usage text for --help. */
+std::string cliUsage();
+
+} // namespace c3d
+
+#endif // C3DSIM_COMMON_CLI_HH

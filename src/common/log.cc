@@ -1,0 +1,116 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+
+namespace c3d
+{
+
+namespace
+{
+std::atomic<bool> quietFlag{false};
+std::atomic<std::uint64_t> watchAddr{~0ull};
+} // namespace
+
+void
+setWatchBlock(std::uint64_t block_addr)
+{
+    watchAddr.store(block_addr == ~0ull
+                        ? block_addr
+                        : block_addr & ~0x3full);
+}
+
+std::uint64_t
+watchBlock()
+{
+    return watchAddr.load();
+}
+
+bool
+watchingBlock(std::uint64_t addr)
+{
+    const std::uint64_t w = watchAddr.load();
+    return w != ~0ull && (addr & ~0x3full) == w;
+}
+
+void
+watchTrace(std::uint64_t now, const char *site, const char *fmt, ...)
+{
+    std::fprintf(stderr, "watch @%llu %s: ",
+                 static_cast<unsigned long long>(now), site);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet);
+}
+
+bool
+isQuiet()
+{
+    return quietFlag.load();
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    if (isQuiet())
+        return;
+    std::fprintf(stderr, "warn: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    if (isQuiet())
+        return;
+    std::fprintf(stderr, "info: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace detail
+
+} // namespace c3d

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error and status reporting, after gem5's logging conventions.
+ *
+ * panic()  - internal simulator invariant violated (a c3dsim bug);
+ *            aborts.
+ * fatal()  - the user asked for something impossible (bad config);
+ *            exits with status 1.
+ * warn()   - something is suspicious but simulation can continue.
+ * inform() - status messages.
+ */
+
+#ifndef C3DSIM_COMMON_LOG_HH
+#define C3DSIM_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace c3d
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Panic,
+    Fatal,
+    Warn,
+    Inform,
+};
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...);
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...);
+void warnImpl(const char *fmt, ...);
+void informImpl(const char *fmt, ...);
+
+} // namespace detail
+
+/** Silence warn()/inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+/**
+ * Debug watchpoint: when set to a block address, instrumented sites
+ * (fills, invalidations, directory transitions) print a trace line
+ * whenever they touch that block. Invalid (all-ones) disables.
+ */
+void setWatchBlock(std::uint64_t block_addr);
+std::uint64_t watchBlock();
+bool watchingBlock(std::uint64_t addr);
+void watchTrace(std::uint64_t now, const char *site, const char *fmt,
+                ...);
+
+} // namespace c3d
+
+#define c3d_panic(...) \
+    ::c3d::detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define c3d_fatal(...) \
+    ::c3d::detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define c3d_warn(...) ::c3d::detail::warnImpl(__VA_ARGS__)
+
+#define c3d_inform(...) ::c3d::detail::informImpl(__VA_ARGS__)
+
+/** Assert a simulator invariant; violations are c3dsim bugs. */
+#define c3d_assert(cond, ...)                                    \
+    do {                                                         \
+        if (!(cond)) {                                           \
+            ::c3d::detail::panicImpl(__FILE__, __LINE__,         \
+                                     "assertion '" #cond         \
+                                     "' failed: " __VA_ARGS__);  \
+        }                                                        \
+    } while (0)
+
+#endif // C3DSIM_COMMON_LOG_HH

@@ -1,0 +1,35 @@
+#include "core/dir_cost.hh"
+
+#include "coherence/directory.hh"
+
+namespace c3d
+{
+
+std::uint64_t
+directoryBytesFor(std::uint64_t covered_bytes,
+                  std::uint32_t provisioning)
+{
+    return sparseDirectoryBytes(covered_bytes, provisioning);
+}
+
+std::vector<DirCostRow>
+directoryCostTable(std::uint64_t llc_bytes,
+                   std::uint64_t dram_cache_bytes)
+{
+    std::vector<DirCostRow> rows;
+    const std::uint64_t mb256 = 256ull << 20;
+
+    rows.push_back({"inclusive 1x (256MB DRAM$)", mb256, 1,
+                    directoryBytesFor(mb256, 1)});
+    rows.push_back({"inclusive 2x (256MB DRAM$)", mb256, 2,
+                    directoryBytesFor(mb256, 2)});
+    rows.push_back({"inclusive 1x (DRAM$)", dram_cache_bytes, 1,
+                    directoryBytesFor(dram_cache_bytes, 1)});
+    rows.push_back({"inclusive 2x (DRAM$)", dram_cache_bytes, 2,
+                    directoryBytesFor(dram_cache_bytes, 2)});
+    rows.push_back({"c3d (LLC only) 2x", llc_bytes, 2,
+                    directoryBytesFor(llc_bytes, 2)});
+    return rows;
+}
+
+} // namespace c3d

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Directory storage-cost analysis (§III-B).
+ *
+ * Quantifies the paper's argument that an inclusive directory over
+ * GB-scale DRAM caches is unaffordable: a minimally-provisioned (1x)
+ * sparse directory for a 256 MB cache already needs 16 MB per socket,
+ * 2x provisioning (AMD Magny-Cours style) doubles it, and a 1 GB
+ * cache at 2x reaches 128 MB -- versus C3D's directory, which only
+ * covers on-chip capacity.
+ */
+
+#ifndef C3DSIM_CORE_DIR_COST_HH
+#define C3DSIM_CORE_DIR_COST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace c3d
+{
+
+/** One row of the storage-cost comparison. */
+struct DirCostRow
+{
+    std::string design;
+    std::uint64_t coveredBytes;   //!< cache capacity the dir tracks
+    std::uint32_t provisioning;   //!< sparse over-provisioning factor
+    std::uint64_t directoryBytes; //!< per-socket storage cost
+};
+
+/**
+ * Build the §III-B cost table for a machine with @p llc_bytes of LLC
+ * and @p dram_cache_bytes of DRAM cache per socket. Rows cover the
+ * naive inclusive design at 1x and 2x for both 256 MB and the
+ * configured DRAM-cache size, plus C3D's LLC-only directory.
+ */
+std::vector<DirCostRow> directoryCostTable(std::uint64_t llc_bytes,
+                                           std::uint64_t
+                                               dram_cache_bytes);
+
+/** Per-socket sparse-directory bytes for @p covered capacity. */
+std::uint64_t directoryBytesFor(std::uint64_t covered_bytes,
+                                std::uint32_t provisioning);
+
+} // namespace c3d
+
+#endif // C3DSIM_CORE_DIR_COST_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simulated thread barrier.
+ *
+ * Iterative parallel kernels (the PARSEC workloads the paper
+ * evaluates) synchronize at barriers every iteration, which bounds
+ * the skew between threads. Without this, per-core placement and
+ * caching feedback loops let fast cores run away from slow ones and
+ * the completion-time metric degenerates to the unluckiest core.
+ */
+
+#ifndef C3DSIM_CPU_BARRIER_HH
+#define C3DSIM_CPU_BARRIER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace c3d
+{
+
+/** A reusable N-party rendezvous. */
+class Barrier
+{
+  public:
+    void
+    init(std::uint32_t parties, StatGroup *stats,
+         const std::string &name)
+    {
+        numParties = parties;
+        episodes.init(stats, name + ".episodes",
+                      "barrier episodes completed");
+    }
+
+    std::uint32_t parties() const { return numParties; }
+
+    /** A party may drop out permanently (finished its quota). */
+    void
+    retire()
+    {
+        c3d_assert(numParties > 0, "retire with no parties");
+        --numParties;
+        if (arrived >= numParties)
+            release();
+    }
+
+    /**
+     * Arrive at the barrier; @p resume runs (inline, at the last
+     * arriver's tick) when all remaining parties have arrived.
+     */
+    void
+    arrive(std::function<void()> resume)
+    {
+        waiting.push_back(std::move(resume));
+        ++arrived;
+        if (arrived >= numParties)
+            release();
+    }
+
+    std::uint32_t waitingCount() const { return arrived; }
+
+  private:
+    void
+    release()
+    {
+        ++episodes;
+        arrived = 0;
+        std::vector<std::function<void()>> ready;
+        ready.swap(waiting);
+        for (auto &fn : ready)
+            fn();
+    }
+
+    std::uint32_t numParties = 0;
+    std::uint32_t arrived = 0;
+    std::vector<std::function<void()>> waiting;
+    Counter episodes;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_CPU_BARRIER_HH

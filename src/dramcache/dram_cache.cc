@@ -1,0 +1,193 @@
+#include "dramcache/dram_cache.hh"
+
+namespace c3d
+{
+
+DramCache::DramCache(EventQueue &eq, const SystemConfig &cfg,
+                     SocketId socket, StatGroup *stats)
+    : eventq(eq),
+      predictorEnabled(cfg.missPredictorEnabled),
+      exactPredictor(cfg.missPredictorExact),
+      predictorLatency(cfg.missPredictorLatency),
+      accessLatency(cfg.dramCacheLatency),
+      allowDirty(cfg.dirtyDramCache())
+{
+    tags.init(cfg.dramCacheBytes, /*ways=*/1);
+
+    const std::string prefix =
+        "socket" + std::to_string(socket) + ".dram_cache";
+
+    predictor.init(cfg.missPredictorEntries,
+                   cfg.missPredictorRegionBytes, stats,
+                   prefix + ".predictor");
+
+    channels.resize(cfg.dramCacheChannels);
+    const Bandwidth bw = Bandwidth::fromGBps(cfg.dramCacheChannelGBps);
+    for (std::uint32_t i = 0; i < channels.size(); ++i) {
+        channels[i].init(bw, stats,
+                         prefix + ".ch" + std::to_string(i));
+    }
+
+    hits.init(stats, prefix + ".hits", "probes that found the block");
+    misses.init(stats, prefix + ".misses", "probes that missed");
+    inserts.init(stats, prefix + ".inserts", "victim-cache fills");
+    writeUpdates.init(stats, prefix + ".write_updates",
+                      "clean refreshes of resident blocks");
+    invalidations.init(stats, prefix + ".invalidations",
+                       "coherence invalidations applied");
+    evictionsClean.init(stats, prefix + ".evictions_clean",
+                        "clean blocks displaced");
+    evictionsDirty.init(stats, prefix + ".evictions_dirty",
+                        "dirty blocks displaced (writeback needed)");
+}
+
+Tick
+DramCache::chargeChannel(Addr addr, Tick start)
+{
+    Channel &ch = channels[blockNumber(addr) % channels.size()];
+    return ch.acquire(start, BurstBytes);
+}
+
+bool
+DramCache::predictPresent(Addr addr)
+{
+    if (exactPredictor) {
+        // MissMap mode: exact block-grain presence, never wrong in
+        // either direction.
+        const bool present = tags.find(addr) != nullptr;
+        predictor.recordExactQuery(present);
+        return present;
+    }
+    return predictor.mayBePresent(addr);
+}
+
+void
+DramCache::probe(Addr addr, std::function<void(DramCacheProbe)> done,
+                 bool always_access)
+{
+    const Tick now = eventq.now();
+
+    if (!always_access && predictorEnabled && !predictPresent(addr)) {
+        // Predicted absent: answer without a DRAM access. The
+        // counting filter never reports absent for a present block,
+        // so this path cannot hide data.
+        ++misses;
+        DramCacheProbe res;
+        res.readyAt = now + predictorLatency;
+        eventq.scheduleAt(res.readyAt, [done, res] { done(res); });
+        return;
+    }
+
+    const Tick access_start =
+        now + (predictorEnabled ? predictorLatency : 0);
+    const Tick ready = chargeChannel(addr, access_start + accessLatency);
+
+    DramCacheProbe res;
+    const TagEntry *e = tags.find(addr);
+    if (e) {
+        ++hits;
+        tags.touch(const_cast<TagEntry *>(e));
+        res.present = true;
+        res.dirty = e->state == CacheState::Modified;
+    } else {
+        ++misses;
+        if (predictorEnabled && !exactPredictor)
+            predictor.recordFalsePresent();
+    }
+    res.readyAt = ready;
+    eventq.scheduleAt(ready, [done, res] { done(res); });
+}
+
+DramCacheVictim
+DramCache::insert(Addr addr, bool dirty)
+{
+    c3d_assert(!dirty || allowDirty,
+               "dirty insert into a clean DRAM cache");
+    ++inserts;
+
+    // The fill write occupies a channel but nobody waits for it.
+    chargeChannel(addr, eventq.now() + accessLatency);
+
+    const CacheState new_state =
+        dirty ? CacheState::Modified : CacheState::Shared;
+
+    DramCacheVictim victim;
+    const bool was_present = tags.find(addr) != nullptr;
+    AllocResult ar = tags.allocate(addr, new_state);
+    if (ar.evictedValid) {
+        victim.valid = true;
+        victim.addr = ar.victimAddr;
+        victim.dirty = ar.victimState == CacheState::Modified;
+        if (victim.dirty)
+            ++evictionsDirty;
+        else
+            ++evictionsClean;
+        predictor.onRemove(victim.addr);
+    }
+    if (!was_present)
+        predictor.onInsert(addr);
+    return victim;
+}
+
+void
+DramCache::invalidate(Addr addr, std::function<void(bool, bool)> done)
+{
+    const Tick now = eventq.now();
+
+    if (predictorEnabled && !predictPresent(addr)) {
+        eventq.scheduleAt(now + predictorLatency,
+                          [done] { done(false, false); });
+        return;
+    }
+
+    const Tick access_start =
+        now + (predictorEnabled ? predictorLatency : 0);
+
+    bool present = false;
+    bool dirty = false;
+    if (const TagEntry *e = tags.find(addr)) {
+        present = true;
+        dirty = e->state == CacheState::Modified;
+        tags.invalidate(addr);
+        predictor.onRemove(addr);
+        ++invalidations;
+    } else if (predictorEnabled && !exactPredictor) {
+        predictor.recordFalsePresent();
+    }
+    // §III-A: invalidating a (possibly) present block requires the
+    // DRAM access -- to check dirtiness and clear the tag.
+    const Tick ready = chargeChannel(addr, access_start + accessLatency);
+    eventq.scheduleAt(ready,
+                      [done, present, dirty] { done(present, dirty); });
+}
+
+DramCacheVictim
+DramCache::updateClean(Addr addr)
+{
+    DramCacheVictim victim;
+    chargeChannel(addr, eventq.now() + accessLatency);
+
+    if (TagEntry *e = tags.find(addr)) {
+        ++writeUpdates;
+        e->state = CacheState::Shared;
+        tags.touch(e);
+        return victim;
+    }
+
+    ++inserts;
+    AllocResult ar = tags.allocate(addr, CacheState::Shared);
+    if (ar.evictedValid) {
+        victim.valid = true;
+        victim.addr = ar.victimAddr;
+        victim.dirty = ar.victimState == CacheState::Modified;
+        if (victim.dirty)
+            ++evictionsDirty;
+        else
+            ++evictionsClean;
+        predictor.onRemove(victim.addr);
+    }
+    predictor.onInsert(addr);
+    return victim;
+}
+
+} // namespace c3d

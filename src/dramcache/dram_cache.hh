@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Die-stacked DRAM cache controller (Table II: 1 GB, block-based,
+ * direct-mapped, 40 ns access, 8 channels x 12.8 GB/s, region-based
+ * miss predictor).
+ *
+ * The organization follows Alloy-cache-style direct-mapped
+ * tags-with-data: one DRAM access returns tag+data, so hit and miss
+ * detection both cost the access latency unless the miss predictor
+ * short-circuits the probe. Fill policy is victim caching: blocks
+ * enter on LLC evictions (§II-C "massive victim cache").
+ *
+ * Dirty blocks are permitted only in the snoopy/full-dir designs; the
+ * C3D designs keep the cache clean (§IV-A).
+ */
+
+#ifndef C3DSIM_DRAMCACHE_DRAM_CACHE_HH
+#define C3DSIM_DRAMCACHE_DRAM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cache/tag_array.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dramcache/miss_predictor.hh"
+#include "interconnect/channel.hh"
+#include "sim/event_queue.hh"
+
+namespace c3d
+{
+
+/** Result of a probe into the DRAM cache. */
+struct DramCacheProbe
+{
+    bool present = false;
+    bool dirty = false;
+    /** Tick at which the probe outcome (and data, if any) is known. */
+    Tick readyAt = 0;
+};
+
+/** Victim displaced by an insertion. */
+struct DramCacheVictim
+{
+    bool valid = false;
+    Addr addr = 0;
+    bool dirty = false;
+};
+
+/** One socket's DRAM cache. */
+class DramCache
+{
+  public:
+    DramCache(EventQueue &eq, const SystemConfig &cfg, SocketId socket,
+              StatGroup *stats);
+
+    /**
+     * Probe for the block at @p addr (read path or snoop).
+     * Consults the miss predictor first; a predicted-absent block is
+     * answered in predictor latency without touching DRAM. @p done
+     * fires when the outcome is known.
+     * @param always_access bypass the predictor short-circuit and pay
+     *        the full DRAM access even for absent blocks (remote
+     *        snoop probes, §III-A: the DRAM cache must be searched).
+     */
+    void probe(Addr addr, std::function<void(DramCacheProbe)> done,
+               bool always_access = false);
+
+    /**
+     * Insert the block at @p addr (an LLC victim).
+     * If the block is already present its state is updated in place.
+     * The write occupies a DRAM channel but completes asynchronously
+     * (off the critical path).
+     * @return the displaced victim, if any.
+     */
+    DramCacheVictim insert(Addr addr, bool dirty);
+
+    /**
+     * Invalidate @p addr if present. @p done receives
+     * (wasPresent, wasDirty) when the invalidation has completed;
+     * predicted-absent blocks complete in predictor latency.
+     */
+    void invalidate(Addr addr,
+                    std::function<void(bool, bool)> done);
+
+    /**
+     * Refresh the cached copy of @p addr with clean data (downgrade /
+     * write-through path). Inserts if absent. Off the critical path.
+     * @return the displaced victim, if any.
+     */
+    DramCacheVictim updateClean(Addr addr);
+
+    /** Structural presence check with no timing (tests/inspection). */
+    bool contains(Addr addr) const { return tags.find(addr) != nullptr; }
+    bool
+    isDirty(Addr addr) const
+    {
+        const TagEntry *e = tags.find(addr);
+        return e && e->state == CacheState::Modified;
+    }
+
+    std::uint64_t capacityBlocks() const { return tags.capacityBlocks(); }
+    std::uint64_t validBlocks() const { return tags.validBlocks(); }
+
+    std::uint64_t hitCount() const { return hits.value(); }
+    std::uint64_t missCount() const { return misses.value(); }
+
+  private:
+    /** Serialize an access burst on the channel for @p addr. */
+    Tick chargeChannel(Addr addr, Tick start);
+
+    /** Presence prediction (exact MissMap or counting filter). */
+    bool predictPresent(Addr addr);
+
+    EventQueue &eventq;
+    TagArray tags;
+    MissPredictor predictor;
+    const bool predictorEnabled;
+    const bool exactPredictor;
+    const Tick predictorLatency;
+    const Tick accessLatency;
+    const bool allowDirty;
+    std::vector<Channel> channels;
+
+    /** Bytes moved per access burst: 64 B line + tag overhead. */
+    static constexpr std::uint32_t BurstBytes = 80;
+
+    Counter hits;
+    Counter misses;
+    Counter inserts;
+    Counter writeUpdates;
+    Counter invalidations;
+    Counter evictionsClean;
+    Counter evictionsDirty;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_DRAMCACHE_DRAM_CACHE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A bandwidth-limited serialization channel.
+ *
+ * Models any shared resource that serializes byte transfers at a fixed
+ * rate: a QPI link, a DDR channel, a die-stacked DRAM channel. The
+ * channel tracks when it next becomes free; a transfer occupies it for
+ * size/bandwidth ticks starting no earlier than both "now" and the
+ * previous transfer's completion.
+ */
+
+#ifndef C3DSIM_INTERCONNECT_CHANNEL_HH
+#define C3DSIM_INTERCONNECT_CHANNEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace c3d
+{
+
+/** One serialized, bandwidth-limited resource. */
+class Channel
+{
+  public:
+    Channel() = default;
+
+    /**
+     * Configure the channel.
+     * @param bw bytes-per-tick bandwidth; an invalid (zero) Bandwidth
+     *           means infinite bandwidth (zero occupancy).
+     */
+    void
+    init(Bandwidth bw, StatGroup *stats, const std::string &name)
+    {
+        bandwidth = bw;
+        bytesTransferred.init(stats, name + ".bytes",
+                              "bytes serialized through this channel");
+        transfers.init(stats, name + ".transfers",
+                       "number of transfers");
+        busyTicks.init(stats, name + ".busy_ticks",
+                       "ticks the channel was occupied");
+    }
+
+    /**
+     * Reserve the channel for a @p bytes transfer starting at @p now.
+     * @return the tick at which the transfer completes.
+     */
+    Tick
+    acquire(Tick now, std::uint64_t bytes)
+    {
+        ++transfers;
+        bytesTransferred += bytes;
+        const Tick start = now > nextFree ? now : nextFree;
+        const Tick occupancy = bandwidth.serializationTicks(bytes);
+        busyTicks += occupancy;
+        nextFree = start + occupancy;
+        return nextFree;
+    }
+
+    /** Tick at which the channel next becomes idle. */
+    Tick nextFreeTick() const { return nextFree; }
+
+    /** Total bytes pushed through this channel. */
+    std::uint64_t bytes() const { return bytesTransferred.value(); }
+
+  private:
+    Bandwidth bandwidth;
+    Tick nextFree = 0;
+    Counter bytesTransferred;
+    Counter transfers;
+    Counter busyTicks;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_INTERCONNECT_CHANNEL_HH

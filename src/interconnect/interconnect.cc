@@ -1,0 +1,132 @@
+#include "interconnect/interconnect.hh"
+
+namespace c3d
+{
+
+Interconnect::Interconnect(EventQueue &eq, const SystemConfig &cfg,
+                           StatGroup *stats)
+    : eventq(eq),
+      numSockets(cfg.numSockets),
+      hopLatency(cfg.zeroHopLatency ? 0 : cfg.hopLatency),
+      controlBytesPerPkt(cfg.controlPacketBytes),
+      dataBytesPerPkt(cfg.dataPacketBytes)
+{
+    c3d_assert(numSockets >= 1, "need at least one socket");
+
+    const Bandwidth bw = cfg.infiniteLinkBandwidth
+        ? Bandwidth()
+        : Bandwidth::fromGBps(cfg.linkGBps);
+
+    links.resize(static_cast<std::size_t>(numSockets) * numSockets);
+    for (SocketId s = 0; s < numSockets; ++s) {
+        for (SocketId d = 0; d < numSockets; ++d) {
+            if (s == d)
+                continue;
+            // Only adjacent pairs carry traffic; initialize all for
+            // simplicity (non-adjacent ones stay unused).
+            links[linkIndex(s, d)].init(
+                bw, nullptr,
+                "link" + std::to_string(s) + "to" + std::to_string(d));
+        }
+    }
+
+    packets.init(stats, "noc.packets", "inter-socket packets sent");
+    ctrlBytes.init(stats, "noc.control_bytes",
+                   "inter-socket control bytes");
+    dataBytesStat.init(stats, "noc.data_bytes",
+                       "inter-socket data bytes");
+    hopTraversals.init(stats, "noc.hop_traversals",
+                       "total link traversals");
+    linkBytes.init(stats, "noc.link_bytes",
+                   "hop-weighted inter-socket bytes");
+}
+
+std::uint32_t
+Interconnect::linkIndex(SocketId from, SocketId to) const
+{
+    return from * numSockets + to;
+}
+
+SocketId
+Interconnect::nextOnPath(SocketId from, SocketId dst) const
+{
+    c3d_assert(from != dst, "no path needed");
+    if (numSockets <= 2)
+        return dst;
+    // Bidirectional ring: step in the direction of the shorter arc.
+    const std::uint32_t cw = (dst + numSockets - from) % numSockets;
+    const std::uint32_t ccw = (from + numSockets - dst) % numSockets;
+    if (cw <= ccw)
+        return (from + 1) % numSockets;
+    return (from + numSockets - 1) % numSockets;
+}
+
+std::uint32_t
+Interconnect::hopCount(SocketId src, SocketId dst) const
+{
+    if (src == dst)
+        return 0;
+    if (numSockets <= 2)
+        return 1;
+    const std::uint32_t cw = (dst + numSockets - src) % numSockets;
+    const std::uint32_t ccw = (src + numSockets - dst) % numSockets;
+    return cw < ccw ? cw : ccw;
+}
+
+Tick
+Interconnect::baseLatency(SocketId src, SocketId dst) const
+{
+    return static_cast<Tick>(hopCount(src, dst)) * hopLatency;
+}
+
+void
+Interconnect::send(SocketId src, SocketId dst, PacketKind kind,
+                   std::function<void()> onArrival)
+{
+    if (src == dst) {
+        // Same-socket "delivery": no network involved.
+        eventq.schedule(0, std::move(onArrival));
+        return;
+    }
+
+    const std::uint32_t bytes = kind == PacketKind::Data
+        ? dataBytesPerPkt : controlBytesPerPkt;
+    ++packets;
+    if (kind == PacketKind::Data)
+        dataBytesStat += bytes;
+    else
+        ctrlBytes += bytes;
+
+    // Walk the path hop by hop. Each link is acquired when the
+    // packet actually reaches that hop (store-and-forward), so a
+    // link's occupancy reflects real arrival order rather than
+    // far-future reservations.
+    forwardHop(src, dst, bytes, std::move(onArrival));
+}
+
+void
+Interconnect::forwardHop(SocketId at, SocketId dst, std::uint32_t bytes,
+                         std::function<void()> onArrival)
+{
+    if (at == dst) {
+        onArrival();
+        return;
+    }
+    const SocketId next = nextOnPath(at, dst);
+    Channel &link = links[linkIndex(at, next)];
+    const Tick done = link.acquire(eventq.now(), bytes) + hopLatency;
+    ++hopTraversals;
+    linkBytes += bytes;
+    eventq.scheduleAt(done, [this, next, dst, bytes,
+                             onArrival = std::move(onArrival)]() mutable {
+        forwardHop(next, dst, bytes, std::move(onArrival));
+    });
+}
+
+std::uint64_t
+Interconnect::totalBytes() const
+{
+    return ctrlBytes.value() + dataBytesStat.value();
+}
+
+} // namespace c3d

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Inter-socket interconnect: 2-socket point-to-point or 4..N-socket
+ * bidirectional ring (Table II).
+ *
+ * A message from socket A to socket B traverses hop-by-hop links along
+ * the shortest ring direction; each hop adds a fixed latency (20 ns
+ * default) and serializes the packet through that hop's link channel
+ * (25.6 GB/s). Control packets are 16 B, data packets 80 B.
+ */
+
+#ifndef C3DSIM_INTERCONNECT_INTERCONNECT_HH
+#define C3DSIM_INTERCONNECT_INTERCONNECT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "interconnect/channel.hh"
+#include "sim/event_queue.hh"
+
+namespace c3d
+{
+
+/** Packet class for traffic accounting. */
+enum class PacketKind : std::uint8_t
+{
+    Control, //!< requests, acks, invalidations (16 B)
+    Data,    //!< cache-line-carrying responses (80 B)
+};
+
+/** The socket-to-socket network. */
+class Interconnect
+{
+  public:
+    /**
+     * @param eq     shared event queue
+     * @param cfg    machine configuration (topology, latencies)
+     * @param stats  stat registry
+     */
+    Interconnect(EventQueue &eq, const SystemConfig &cfg,
+                 StatGroup *stats);
+
+    /**
+     * Send a packet from @p src to @p dst, invoking @p onArrival when
+     * it is delivered. @p src may equal @p dst, in which case delivery
+     * is immediate (no hops, no traffic counted).
+     */
+    void send(SocketId src, SocketId dst, PacketKind kind,
+              std::function<void()> onArrival);
+
+    /** Number of ring/P2P hops between two sockets. */
+    std::uint32_t hopCount(SocketId src, SocketId dst) const;
+
+    /** One-way latency between two sockets excluding bandwidth. */
+    Tick baseLatency(SocketId src, SocketId dst) const;
+
+    /** Total bytes injected into the network (counted once/packet). */
+    std::uint64_t totalBytes() const;
+
+    /** Hop-weighted bytes: each link traversal charges the packet. */
+    std::uint64_t linkTraversalBytes() const { return linkBytes.value(); }
+
+    std::uint64_t controlBytes() const { return ctrlBytes.value(); }
+    std::uint64_t dataBytes() const { return dataBytesStat.value(); }
+    std::uint64_t packetsSent() const { return packets.value(); }
+
+  private:
+    /** Index of the directed link from @p from toward @p to (1 hop). */
+    std::uint32_t linkIndex(SocketId from, SocketId to) const;
+
+    /** Next socket along the shortest path from @p from to @p dst. */
+    SocketId nextOnPath(SocketId from, SocketId dst) const;
+
+    /** Store-and-forward one hop; recurses until delivery. */
+    void forwardHop(SocketId at, SocketId dst, std::uint32_t bytes,
+                    std::function<void()> onArrival);
+
+    EventQueue &eventq;
+    const std::uint32_t numSockets;
+    const Tick hopLatency;
+    const std::uint32_t controlBytesPerPkt;
+    const std::uint32_t dataBytesPerPkt;
+
+    /** Directed links: for each socket, cw and ccw (ring), or the
+     * single peer link (P2P). links[from * numSockets + to] for
+     * adjacent pairs. */
+    std::vector<Channel> links;
+
+    Counter packets;
+    Counter ctrlBytes;
+    Counter dataBytesStat;
+    Counter hopTraversals;
+    Counter linkBytes;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_INTERCONNECT_INTERCONNECT_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Physical page placement across sockets (§V "Memory Allocation
+ * Policy"): Interleave (INT), First-Touch-1 (FT1, from application
+ * start) and First-Touch-2 (FT2, from the start of the parallel
+ * phase).
+ *
+ * FT1's known pathology -- large regions mapped to one socket because
+ * a single thread initializes memory before the parallel phase -- is
+ * reproduced by letting workloads pre-touch pages (the serial
+ * initialization) before any timed access.
+ */
+
+#ifndef C3DSIM_MAPPING_PAGE_MAPPER_HH
+#define C3DSIM_MAPPING_PAGE_MAPPER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace c3d
+{
+
+/** Assigns every page a home socket. */
+class PageMapper
+{
+  public:
+    PageMapper(MappingPolicy policy, std::uint32_t num_sockets,
+               StatGroup *stats)
+        : policy(policy), numSockets(num_sockets)
+    {
+        pagesMapped.init(stats, "mapper.pages_mapped",
+                         "distinct pages placed");
+        perSocketPages.resize(num_sockets);
+        for (std::uint32_t s = 0; s < num_sockets; ++s) {
+            perSocketPages[s].init(
+                stats,
+                "mapper.socket" + std::to_string(s) + "_pages",
+                "pages homed at this socket");
+        }
+    }
+
+    /**
+     * Serial-phase initialization touch (FT1 only). Called by the
+     * workload setup for every page the single-threaded init phase
+     * would write; under FT1 this pins the page to @p socket.
+     */
+    void
+    preTouch(Addr addr, SocketId socket)
+    {
+        if (policy != MappingPolicy::FirstTouch1)
+            return;
+        mapIfNew(pageNumber(addr), socket);
+    }
+
+    /**
+     * Resolve the home socket of @p addr for an access issued by
+     * @p socket. First-touch policies place unmapped pages here.
+     */
+    SocketId
+    homeOf(Addr addr, SocketId socket)
+    {
+        if (policy == MappingPolicy::Interleave)
+            return static_cast<SocketId>(pageNumber(addr) % numSockets);
+
+        const Addr page = pageNumber(addr);
+        auto it = map.find(page);
+        if (it != map.end())
+            return it->second;
+        return mapIfNew(page, socket);
+    }
+
+    /** Home of an already-placed page; interleave for unmapped. */
+    SocketId
+    homeOfExisting(Addr addr) const
+    {
+        if (policy == MappingPolicy::Interleave)
+            return static_cast<SocketId>(pageNumber(addr) % numSockets);
+        auto it = map.find(pageNumber(addr));
+        return it != map.end() ? it->second : 0;
+    }
+
+    MappingPolicy policyKind() const { return policy; }
+    std::uint64_t mappedPages() const { return map.size(); }
+
+    /** Pages homed at @p socket (placement-balance inspection). */
+    std::uint64_t
+    pagesAt(SocketId socket) const
+    {
+        return perSocketPages.at(socket).value();
+    }
+
+  private:
+    SocketId
+    mapIfNew(Addr page, SocketId socket)
+    {
+        auto [it, inserted] = map.emplace(page, socket);
+        if (inserted) {
+            ++pagesMapped;
+            ++perSocketPages[socket];
+        }
+        return it->second;
+    }
+
+    const MappingPolicy policy;
+    const std::uint32_t numSockets;
+    std::unordered_map<Addr, SocketId> map;
+    Counter pagesMapped;
+    std::vector<Counter> perSocketPages;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_MAPPING_PAGE_MAPPER_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered queue of (tick, sequence, callback) triples.
+ * Events scheduled for the same tick run in scheduling order, which
+ * keeps the simulation deterministic.
+ */
+
+#ifndef C3DSIM_SIM_EVENT_QUEUE_HH
+#define C3DSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace c3d
+{
+
+/** The event-driven simulation core. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return queue.size(); }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(currentTick + delay, std::move(cb));
+    }
+
+    /** Schedule @p cb at absolute tick @p when (>= now). */
+    void
+    scheduleAt(Tick when, Callback cb)
+    {
+        c3d_assert(when >= currentTick,
+                   "event scheduled in the past");
+        queue.push(Event{when, nextSequence++, std::move(cb)});
+    }
+
+    /**
+     * Run events until the queue drains or @p maxTick is passed.
+     * @return true if the queue drained, false if maxTick stopped us.
+     */
+    bool
+    run(Tick maxTick = MaxTick)
+    {
+        while (!queue.empty()) {
+            const Event &top = queue.top();
+            if (top.when > maxTick)
+                return false;
+            currentTick = top.when;
+            // Move the callback out before popping so that the
+            // callback may schedule further events safely.
+            Callback cb = std::move(const_cast<Event &>(top).cb);
+            queue.pop();
+            ++executed;
+            cb();
+        }
+        return true;
+    }
+
+    /** Execute exactly one event, if any. @return executed one. */
+    bool
+    step()
+    {
+        if (queue.empty())
+            return false;
+        const Event &top = queue.top();
+        currentTick = top.when;
+        Callback cb = std::move(const_cast<Event &>(top).cb);
+        queue.pop();
+        ++executed;
+        cb();
+        return true;
+    }
+
+    /** Drop all pending events and rewind time to zero. */
+    void
+    reset()
+    {
+        while (!queue.empty())
+            queue.pop();
+        currentTick = 0;
+        nextSequence = 0;
+        executed = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t sequence;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    Tick currentTick = 0;
+    std::uint64_t nextSequence = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,100 @@
+#include "sim/machine.hh"
+
+namespace c3d
+{
+
+Machine::Machine(const SystemConfig &config)
+    : cfg(config), statGroup("machine")
+{
+    noc = std::make_unique<Interconnect>(eventq, cfg, &statGroup);
+    mapper = std::make_unique<PageMapper>(cfg.mapping, cfg.numSockets,
+                                          &statGroup);
+    classifier = std::make_unique<PageClassifier>(&statGroup);
+
+    sockets.reserve(cfg.numSockets);
+    for (SocketId s = 0; s < cfg.numSockets; ++s) {
+        sockets.push_back(
+            std::make_unique<Socket>(eventq, cfg, s, &statGroup));
+    }
+
+    proto = makeProtocol(cfg.design, *this, &statGroup);
+    for (auto &s : sockets)
+        s->setProtocol(proto.get());
+}
+
+Machine::~Machine() = default;
+
+std::uint64_t
+Machine::totalMemReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sockets)
+        n += s->memory().reads();
+    return n;
+}
+
+std::uint64_t
+Machine::totalMemWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sockets)
+        n += s->memory().writes();
+    return n;
+}
+
+std::uint64_t
+Machine::remoteMemReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sockets)
+        n += s->memory().remoteReads();
+    return n;
+}
+
+std::uint64_t
+Machine::remoteMemWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sockets)
+        n += s->memory().remoteWrites();
+    return n;
+}
+
+std::uint64_t
+Machine::totalDramCacheHits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sockets) {
+        if (s->dramCache())
+            n += s->dramCache()->hitCount();
+    }
+    return n;
+}
+
+std::uint64_t
+Machine::totalDramCacheMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sockets) {
+        if (s->dramCache())
+            n += s->dramCache()->missCount();
+    }
+    return n;
+}
+
+std::uint64_t
+Machine::totalLlcMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : sockets)
+        n += s->llcMisses();
+    return n;
+}
+
+std::uint64_t
+Machine::interSocketBytes() const
+{
+    return noc->totalBytes();
+}
+
+} // namespace c3d

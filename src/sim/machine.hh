@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The simulated NUMA machine: sockets, interconnect, page mapper,
+ * page classifier, and the selected inter-socket coherence protocol,
+ * all sharing one event queue and stat registry.
+ *
+ * The machine is the hardware only; trace CPUs and workloads attach
+ * via sim/runner.hh.
+ */
+
+#ifndef C3DSIM_SIM_MACHINE_HH
+#define C3DSIM_SIM_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "coherence/protocol.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "interconnect/interconnect.hh"
+#include "mapping/page_classifier.hh"
+#include "mapping/page_mapper.hh"
+#include "sim/event_queue.hh"
+#include "sim/socket.hh"
+
+namespace c3d
+{
+
+/** A complete multi-socket system. */
+class Machine
+{
+  public:
+    explicit Machine(const SystemConfig &config);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const SystemConfig &config() const { return cfg; }
+    EventQueue &eventQueue() { return eventq; }
+    StatGroup &stats() { return statGroup; }
+    const StatGroup &stats() const { return statGroup; }
+
+    std::uint32_t numSockets() const { return cfg.numSockets; }
+    Socket &socket(SocketId s) { return *sockets[s]; }
+    const Socket &socket(SocketId s) const { return *sockets[s]; }
+
+    Interconnect &interconnect() { return *noc; }
+    PageMapper &pageMapper() { return *mapper; }
+    PageClassifier &pageClassifier() { return *classifier; }
+    GlobalProtocol &protocol() { return *proto; }
+
+    /** Home socket of @p addr for an access by @p requester. */
+    SocketId
+    homeOf(Addr addr, SocketId requester)
+    {
+        return mapper->homeOf(addr, requester);
+    }
+
+    // ---- aggregated metrics (across sockets) ---------------------------
+
+    std::uint64_t totalMemReads() const;
+    std::uint64_t totalMemWrites() const;
+    std::uint64_t remoteMemReads() const;
+    std::uint64_t remoteMemWrites() const;
+    std::uint64_t totalDramCacheHits() const;
+    std::uint64_t totalDramCacheMisses() const;
+    std::uint64_t totalLlcMisses() const;
+    std::uint64_t interSocketBytes() const;
+
+  private:
+    const SystemConfig cfg;
+    EventQueue eventq;
+    StatGroup statGroup;
+    std::unique_ptr<Interconnect> noc;
+    std::unique_ptr<PageMapper> mapper;
+    std::unique_ptr<PageClassifier> classifier;
+    std::vector<std::unique_ptr<Socket>> sockets;
+    std::unique_ptr<GlobalProtocol> proto;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_SIM_MACHINE_HH

@@ -1,0 +1,107 @@
+#include "sim/runner.hh"
+
+#include "common/log.hh"
+
+namespace c3d
+{
+
+Runner::Runner(const SystemConfig &cfg, Workload &wl)
+    : m(std::make_unique<Machine>(cfg)), workload(wl)
+{
+    // FT1's serial-phase placement happens before any timed access.
+    workload.preTouchPages(m->pageMapper());
+
+    const std::uint32_t total = cfg.totalCores();
+    cpus.reserve(total);
+    for (CoreId c = 0; c < total; ++c) {
+        cpus.push_back(std::make_unique<TraceCpu>(*m, c, workload,
+                                                  &m->stats()));
+    }
+}
+
+Runner::~Runner() = default;
+
+RunResult
+Runner::run(std::uint64_t warmup_ops, std::uint64_t measure_ops)
+{
+    const std::uint32_t total = m->config().totalCores();
+    const std::uint32_t active = workload.activeCores(total);
+
+    std::uint32_t warm_remaining = active;
+    std::uint32_t done_remaining = active;
+    Tick measure_start = 0;
+
+    const std::uint64_t barrier_interval = workload.barrierInterval();
+    if (barrier_interval && active > 1) {
+        barrier.init(active, &m->stats(), "barrier");
+        for (CoreId c = 0; c < active; ++c)
+            cpus[c]->setBarrier(&barrier, barrier_interval);
+    }
+
+    for (CoreId c = 0; c < total; ++c) {
+        const bool runs = c < active;
+        cpus[c]->start(
+            runs ? warmup_ops : 0, runs ? measure_ops : 0,
+            [this, &warm_remaining, &measure_start, runs] {
+                if (!runs)
+                    return;
+                if (--warm_remaining == 0) {
+                    // Last core crossed warm-up: open the window.
+                    m->stats().resetAll();
+                    measure_start = m->eventQueue().now();
+                }
+            },
+            [&done_remaining, runs] {
+                if (runs)
+                    --done_remaining;
+            });
+    }
+
+    // Idle cores also signal via their zero-op paths; the warm/done
+    // callbacks above ignore them.
+    EventQueue &eq = m->eventQueue();
+    while (done_remaining > 0) {
+        if (!eq.step()) {
+            c3d_panic("event queue drained with %u cores unfinished",
+                      done_remaining);
+        }
+    }
+    const Tick end = eq.now();
+    // Let in-flight writebacks and probes quiesce (their traffic
+    // belongs to the measured work).
+    eq.run();
+
+    RunResult r;
+    r.measuredTicks = end - measure_start;
+    std::uint64_t insts = 0;
+    for (const auto &cpu : cpus)
+        insts += cpu->instructions();
+    r.instructions = insts;
+    r.memReads = m->totalMemReads();
+    r.memWrites = m->totalMemWrites();
+    r.remoteMemReads = m->remoteMemReads();
+    r.remoteMemWrites = m->remoteMemWrites();
+    r.dramCacheHits = m->totalDramCacheHits();
+    r.dramCacheMisses = m->totalDramCacheMisses();
+    r.llcMisses = m->totalLlcMisses();
+    r.interSocketBytes = m->interSocketBytes();
+    const StatGroup &sg = m->stats();
+    r.broadcasts = sg.has("proto.broadcasts")
+        ? sg.valueOf("proto.broadcasts") : 0;
+    r.broadcastsElided = sg.has("proto.broadcasts_elided")
+        ? sg.valueOf("proto.broadcasts_elided") : 0;
+    return r;
+}
+
+RunResult
+runWorkload(const SystemConfig &cfg,
+            const WorkloadProfile &scaled_profile,
+            std::uint64_t warmup_ops, std::uint64_t measure_ops)
+{
+    SyntheticWorkload wl(scaled_profile, cfg.totalCores(),
+                         cfg.coresPerSocket);
+    Runner runner(cfg, wl);
+    return runner.run(warmup_ops, measure_ops);
+}
+
+} // namespace c3d

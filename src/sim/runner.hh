@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simulation runner: couples a Machine with a Workload, spawns one
+ * TraceCpu per core, handles the warm-up / measurement split (the
+ * paper warms the DRAM caches before collecting results, §V), and
+ * extracts the metrics every bench reports.
+ */
+
+#ifndef C3DSIM_SIM_RUNNER_HH
+#define C3DSIM_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/trace_cpu.hh"
+#include "sim/machine.hh"
+#include "trace/workload.hh"
+
+namespace c3d
+{
+
+/** Metrics of one simulation run (measurement window only). */
+struct RunResult
+{
+    Tick measuredTicks = 0;      //!< wall ticks of the window
+    std::uint64_t instructions = 0; //!< committed instructions
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+    std::uint64_t remoteMemReads = 0;
+    std::uint64_t remoteMemWrites = 0;
+    std::uint64_t dramCacheHits = 0;
+    std::uint64_t dramCacheMisses = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t interSocketBytes = 0;
+    std::uint64_t broadcasts = 0;
+    std::uint64_t broadcastsElided = 0;
+
+    double
+    ipc() const
+    {
+        return measuredTicks
+            ? static_cast<double>(instructions) / measuredTicks : 0.0;
+    }
+
+    std::uint64_t memAccesses() const { return memReads + memWrites; }
+    std::uint64_t
+    remoteMemAccesses() const
+    {
+        return remoteMemReads + remoteMemWrites;
+    }
+};
+
+/** Drives a full simulation. */
+class Runner
+{
+  public:
+    /**
+     * @param cfg machine configuration
+     * @param workload reference-stream source (not owned)
+     */
+    Runner(const SystemConfig &cfg, Workload &workload);
+    ~Runner();
+
+    /**
+     * Run @p warmup_ops + @p measure_ops references per active core
+     * and return the measurement-window metrics. Stats are reset when
+     * the last core crosses its warm-up quota.
+     */
+    RunResult run(std::uint64_t warmup_ops, std::uint64_t measure_ops);
+
+    Machine &machine() { return *m; }
+    const std::vector<std::unique_ptr<TraceCpu>> &cores() const
+    {
+        return cpus;
+    }
+
+  private:
+    std::unique_ptr<Machine> m;
+    Workload &workload;
+    std::vector<std::unique_ptr<TraceCpu>> cpus;
+    Barrier barrier;
+};
+
+/** Convenience: build, run, and summarize in one call. */
+RunResult runWorkload(const SystemConfig &cfg,
+                      const WorkloadProfile &scaled_profile,
+                      std::uint64_t warmup_ops,
+                      std::uint64_t measure_ops);
+
+} // namespace c3d
+
+#endif // C3DSIM_SIM_RUNNER_HH

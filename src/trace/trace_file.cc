@@ -1,0 +1,155 @@
+#include "trace/trace_file.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace c3d
+{
+
+namespace
+{
+
+constexpr char Magic[4] = {'C', '3', 'D', 'T'};
+constexpr std::uint32_t Version = 1;
+
+struct Header
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint32_t numCores;
+    std::uint32_t pad;
+    std::uint64_t records;
+};
+
+struct DiskRecord
+{
+    std::uint16_t core;
+    std::uint16_t gap;
+    std::uint8_t op;
+    std::uint8_t pad[3];
+    std::uint64_t addr;
+};
+
+static_assert(sizeof(Header) == 24, "header layout");
+static_assert(sizeof(DiskRecord) == 16, "record layout");
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 std::uint32_t num_cores)
+    : numCores(num_cores)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        c3d_fatal("cannot open trace file '%s' for writing",
+                  path.c_str());
+    Header h{};
+    std::memcpy(h.magic, Magic, 4);
+    h.version = Version;
+    h.numCores = num_cores;
+    h.records = 0;
+    if (std::fwrite(&h, sizeof(h), 1, file) != 1)
+        c3d_fatal("trace header write failed");
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (file)
+        close();
+}
+
+void
+TraceFileWriter::append(const TraceRecord &rec)
+{
+    c3d_assert(file, "append after close");
+    DiskRecord d{};
+    d.core = rec.core;
+    d.gap = rec.gap;
+    d.op = rec.op == MemOp::Write ? 1 : 0;
+    d.addr = rec.addr;
+    if (std::fwrite(&d, sizeof(d), 1, file) != 1)
+        c3d_fatal("trace record write failed");
+    ++count;
+}
+
+void
+TraceFileWriter::close()
+{
+    c3d_assert(file, "double close");
+    // Patch the record count into the header.
+    Header h{};
+    std::memcpy(h.magic, Magic, 4);
+    h.version = Version;
+    h.numCores = numCores;
+    h.records = count;
+    std::fseek(file, 0, SEEK_SET);
+    if (std::fwrite(&h, sizeof(h), 1, file) != 1)
+        c3d_fatal("trace header rewrite failed");
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceFileWorkload::TraceFileWorkload(const std::string &path)
+    : fileName(path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        c3d_fatal("cannot open trace file '%s'", path.c_str());
+
+    Header h{};
+    if (std::fread(&h, sizeof(h), 1, f) != 1)
+        c3d_fatal("trace header read failed for '%s'", path.c_str());
+    if (std::memcmp(h.magic, Magic, 4) != 0)
+        c3d_fatal("'%s' is not a c3dsim trace file", path.c_str());
+    if (h.version != Version)
+        c3d_fatal("trace version %u unsupported", h.version);
+    if (h.numCores == 0 || h.numCores > 4096)
+        c3d_fatal("trace core count %u out of range", h.numCores);
+
+    numCores = h.numCores;
+    total = h.records;
+    perCore.resize(numCores);
+    cursor.assign(numCores, 0);
+
+    for (std::uint64_t i = 0; i < total; ++i) {
+        DiskRecord d{};
+        if (std::fread(&d, sizeof(d), 1, f) != 1)
+            c3d_fatal("trace truncated at record %llu",
+                      static_cast<unsigned long long>(i));
+        if (d.core >= numCores)
+            c3d_fatal("trace record %llu names core %u of %u",
+                      static_cast<unsigned long long>(i), d.core,
+                      numCores);
+        TraceOp op;
+        op.gap = d.gap;
+        op.op = d.op ? MemOp::Write : MemOp::Read;
+        op.addr = d.addr;
+        perCore[d.core].push_back(op);
+    }
+    std::fclose(f);
+
+    for (std::uint32_t c = 0; c < numCores; ++c) {
+        if (perCore[c].empty())
+            c3d_fatal("trace has no records for core %u", c);
+    }
+}
+
+TraceOp
+TraceFileWorkload::next(CoreId core)
+{
+    const std::uint32_t c = core % numCores;
+    auto &stream = perCore[c];
+    TraceOp op = stream[cursor[c]];
+    cursor[c] = (cursor[c] + 1) % stream.size();
+    return op;
+}
+
+std::uint32_t
+TraceFileWorkload::activeCores(std::uint32_t total_cores) const
+{
+    return std::min(total_cores, numCores);
+}
+
+} // namespace c3d

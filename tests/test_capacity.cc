@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the functional capacity analyzer (Fig. 3 / §II-C
+ * infrastructure).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/capacity_analyzer.hh"
+#include "test_helpers.hh"
+
+namespace c3d
+{
+namespace
+{
+
+TEST(CapacityAnalyzer, BiggerCacheNeverMissesMore)
+{
+    WorkloadProfile p = test::tinyProfile();
+    std::uint64_t prev = ~0ull;
+    for (std::uint64_t kb : {64, 256, 1024}) {
+        SyntheticWorkload wl(p, 8, 2);
+        const CapacityResult r = analyzeCapacity(
+            wl, 4, 2, kb * 1024, 16, /*shared=*/false, 4000);
+        EXPECT_LE(r.cacheMisses, prev) << kb << "KB";
+        prev = r.cacheMisses;
+    }
+}
+
+TEST(CapacityAnalyzer, WorkingSetFitsMeansColdMissesOnly)
+{
+    WorkloadProfile p;
+    p.name = "fits";
+    p.sharedHotBytes = 64 * 1024;
+    p.sharedColdBytes = 0;
+    p.migratoryBytes = 0;
+    p.privateBytesPerThread = 0;
+    p.fracSharedHot = 1.0;
+    p.fracSharedCold = 0;
+    p.fracMigratory = 0;
+    p.privateBytesPerThread = PageBytes;
+    SyntheticWorkload wl(p, 4, 2);
+    const CapacityResult r = analyzeCapacity(
+        wl, 2, 2, 1 << 20, 16, /*shared=*/false, 20000);
+    // Footprint is 1 K blocks replicated in 2 sockets: at most ~2 K
+    // cold misses out of 80 K references.
+    EXPECT_LT(r.missRate(), 0.05);
+}
+
+TEST(CapacityAnalyzer, SharedOrganizationPoolsCapacity)
+{
+    // With a working set that fits the pooled capacity but not one
+    // socket's share, the shared organization misses less.
+    WorkloadProfile p;
+    p.name = "pool";
+    p.sharedHotBytes = 3 << 20; // 3 MB vs 1 MB/socket caches
+    p.sharedColdBytes = 0;
+    p.migratoryBytes = 0;
+    p.privateBytesPerThread = PageBytes;
+    p.fracSharedHot = 1.0;
+    p.fracSharedCold = 0;
+    p.fracMigratory = 0;
+    SyntheticWorkload wl_priv(p, 8, 2);
+    SyntheticWorkload wl_shared(p, 8, 2);
+    const CapacityResult priv = analyzeCapacity(
+        wl_priv, 4, 2, 1 << 20, 16, false, 30000);
+    const CapacityResult shared = analyzeCapacity(
+        wl_shared, 4, 2, 1 << 20, 16, true, 30000);
+    EXPECT_LT(shared.cacheMisses, priv.cacheMisses);
+}
+
+TEST(CapacityAnalyzer, RemoteMissesTrackInterleavedHomes)
+{
+    WorkloadProfile p = test::tinyProfile();
+    SyntheticWorkload wl(p, 8, 2);
+    const CapacityResult r = analyzeCapacity(
+        wl, 4, 2, 64 * 1024, 16, false, 5000);
+    // With 4-socket interleave roughly 3/4 of misses are remote.
+    ASSERT_GT(r.cacheMisses, 0u);
+    const double remote_frac = static_cast<double>(r.remoteMisses) /
+        static_cast<double>(r.cacheMisses);
+    EXPECT_GT(remote_frac, 0.55);
+    EXPECT_LT(remote_frac, 0.9);
+}
+
+TEST(CapacityAnalyzer, CountsReferences)
+{
+    WorkloadProfile p = test::tinyProfile();
+    SyntheticWorkload wl(p, 8, 2);
+    const CapacityResult r = analyzeCapacity(
+        wl, 4, 2, 64 * 1024, 16, false, 1000);
+    EXPECT_EQ(r.references, 8u * 1000u);
+}
+
+} // namespace
+} // namespace c3d

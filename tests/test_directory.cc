@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for directory storage (sparse + full) and the blocking
+ * table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/blocking.hh"
+#include "coherence/directory.hh"
+
+namespace c3d
+{
+namespace
+{
+
+TEST(SparseDirectory, AllocateFindErase)
+{
+    StatGroup g("t");
+    SparseDirectory dir(1024, 32, 4, &g, "d");
+    DirRecall recall;
+    DirEntry *e = dir.allocate(0x1000, recall);
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(recall.valid);
+    e->state = DirState::Modified;
+    e->owner = 2;
+    DirEntry *f = dir.find(0x1000);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->state, DirState::Modified);
+    EXPECT_EQ(f->owner, 2u);
+    dir.erase(0x1000);
+    EXPECT_EQ(dir.find(0x1000), nullptr);
+}
+
+TEST(SparseDirectory, SubBlockLookup)
+{
+    StatGroup g("t");
+    SparseDirectory dir(1024, 32, 4, &g, "d");
+    DirRecall recall;
+    dir.allocate(0x1000, recall);
+    EXPECT_NE(dir.find(0x1020), nullptr);
+    EXPECT_EQ(dir.find(0x1040), nullptr);
+}
+
+TEST(SparseDirectory, ConflictRecallsLruVictim)
+{
+    StatGroup g("t");
+    // 2 entries, 2 ways: a single set.
+    SparseDirectory dir(2, 2, 4, &g, "d");
+    DirRecall recall;
+    DirEntry *a = dir.allocate(0 * BlockBytes, recall);
+    a->state = DirState::Shared;
+    a->addSharer(1);
+    dir.allocate(1 * BlockBytes, recall);
+    EXPECT_FALSE(recall.valid);
+    // Third allocation in the same set recalls block 0 (LRU).
+    dir.allocate(2 * BlockBytes, recall);
+    ASSERT_TRUE(recall.valid);
+    EXPECT_EQ(recall.addr, 0u);
+    EXPECT_EQ(recall.entry.state, DirState::Shared);
+    EXPECT_TRUE(recall.entry.isSharer(1));
+    EXPECT_EQ(dir.recallCount(), 1u);
+}
+
+TEST(SparseDirectory, TrackedBlocksCount)
+{
+    StatGroup g("t");
+    SparseDirectory dir(64, 8, 4, &g, "d");
+    DirRecall recall;
+    for (Addr i = 0; i < 10; ++i)
+        dir.allocate(i * BlockBytes, recall);
+    EXPECT_EQ(dir.trackedBlocks(), 10u);
+}
+
+TEST(SparseDirectory, StorageBitsScaleWithEntries)
+{
+    StatGroup g("t");
+    SparseDirectory small(1024, 32, 4, &g, "s");
+    SparseDirectory big(4096, 32, 4, &g, "b");
+    EXPECT_EQ(big.storageBits(), 4 * small.storageBits());
+}
+
+TEST(FullDirectory, NoRecallsEver)
+{
+    StatGroup g("t");
+    FullDirectory dir(4, &g, "d");
+    DirRecall recall;
+    for (Addr i = 0; i < 100000; ++i) {
+        dir.allocate(i * BlockBytes, recall);
+        ASSERT_FALSE(recall.valid);
+    }
+    EXPECT_EQ(dir.trackedBlocks(), 100000u);
+}
+
+TEST(FullDirectory, EraseUntracks)
+{
+    StatGroup g("t");
+    FullDirectory dir(4, &g, "d");
+    DirRecall recall;
+    dir.allocate(0x40, recall);
+    dir.erase(0x40);
+    EXPECT_EQ(dir.find(0x40), nullptr);
+    EXPECT_EQ(dir.trackedBlocks(), 0u);
+}
+
+TEST(DirEntry, SharerVectorOps)
+{
+    DirEntry e;
+    e.addSharer(0);
+    e.addSharer(3);
+    EXPECT_TRUE(e.isSharer(0));
+    EXPECT_FALSE(e.isSharer(1));
+    EXPECT_TRUE(e.isSharer(3));
+    EXPECT_EQ(e.sharerCount(), 2u);
+    e.removeSharer(0);
+    EXPECT_FALSE(e.isSharer(0));
+    EXPECT_EQ(e.sharerCount(), 1u);
+}
+
+TEST(DirCostModel, MatchesPaperNumbers)
+{
+    // §III-B: 256 MB cache -> 16 MB at 1x, 32 MB at 2x; 1 GB at 2x
+    // -> 128 MB.
+    EXPECT_EQ(sparseDirectoryBytes(256ull << 20, 1), 16ull << 20);
+    EXPECT_EQ(sparseDirectoryBytes(256ull << 20, 2), 32ull << 20);
+    EXPECT_EQ(sparseDirectoryBytes(1024ull << 20, 2), 128ull << 20);
+}
+
+TEST(BlockingTable, FirstAcquireRunsInline)
+{
+    StatGroup g("t");
+    BlockingTable bt;
+    bt.init(&g, "bt");
+    bool ran = false;
+    bt.acquire(0x1000, [&] { ran = true; });
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(bt.isBusy(0x1000));
+}
+
+TEST(BlockingTable, ConflictQueuesUntilRelease)
+{
+    StatGroup g("t");
+    BlockingTable bt;
+    bt.init(&g, "bt");
+    std::vector<int> order;
+    bt.acquire(0x1000, [&] { order.push_back(1); });
+    bt.acquire(0x1000, [&] { order.push_back(2); });
+    bt.acquire(0x1000, [&] { order.push_back(3); });
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    bt.release(0x1000);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    bt.release(0x1000);
+    bt.release(0x1000);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_FALSE(bt.isBusy(0x1000));
+    EXPECT_EQ(bt.blockedCount(), 2u);
+}
+
+TEST(BlockingTable, DifferentBlocksIndependent)
+{
+    StatGroup g("t");
+    BlockingTable bt;
+    bt.init(&g, "bt");
+    bool a = false, b = false;
+    bt.acquire(0x1000, [&] { a = true; });
+    bt.acquire(0x2000, [&] { b = true; });
+    EXPECT_TRUE(a);
+    EXPECT_TRUE(b);
+    EXPECT_EQ(bt.blockedCount(), 0u);
+}
+
+TEST(BlockingTable, SameBlockDifferentOffsets)
+{
+    StatGroup g("t");
+    BlockingTable bt;
+    bt.init(&g, "bt");
+    bool second = false;
+    bt.acquire(0x1000, [] {});
+    bt.acquire(0x1020, [&] { second = true; }); // same 64 B block
+    EXPECT_FALSE(second);
+    bt.release(0x1000);
+    EXPECT_TRUE(second);
+}
+
+TEST(BlockingTableDeathTest, ReleaseWithoutAcquirePanics)
+{
+    StatGroup g("t");
+    BlockingTable bt;
+    bt.init(&g, "bt");
+    EXPECT_DEATH(bt.release(0x1000), "unlocked");
+}
+
+} // namespace
+} // namespace c3d

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace c3d
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10)
+            eq.schedule(7, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eq.now(), 63u);
+}
+
+TEST(EventQueue, MaxTickStopsEarly)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ScheduleAtAbsoluteTime)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(42, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, ZeroDelayRunsAtCurrentTick)
+{
+    EventQueue eq;
+    Tick seen = MaxTick;
+    eq.schedule(17, [&] {
+        eq.schedule(0, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 17u);
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    eq.run();
+    eq.schedule(9, [] {});
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.eventsExecuted(), 0u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 25; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 25u);
+}
+
+TEST(EventQueueDeathTest, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
+    });
+    eq.run();
+}
+
+} // namespace
+} // namespace c3d

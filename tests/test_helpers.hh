@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the c3dsim test suite: small scaled machine
+ * configurations and workload profiles that keep unit/integration
+ * tests fast while preserving the capacity ratios of Table II.
+ */
+
+#ifndef C3DSIM_TESTS_TEST_HELPERS_HH
+#define C3DSIM_TESTS_TEST_HELPERS_HH
+
+#include "common/config.hh"
+#include "trace/workload.hh"
+
+namespace c3d::test
+{
+
+/** Scale used by tests: 1/256 of the paper machine. */
+constexpr std::uint32_t TestScale = 256;
+
+/** A small but fully-featured machine for fast tests. */
+inline SystemConfig
+tinyConfig(Design design = Design::C3D, std::uint32_t sockets = 4,
+           std::uint32_t cores_per_socket = 2)
+{
+    SystemConfig cfg;
+    cfg.numSockets = sockets;
+    cfg.coresPerSocket = cores_per_socket;
+    cfg.design = design;
+    cfg = cfg.scaled(TestScale);
+    return cfg;
+}
+
+/** A small workload whose footprint matches tinyConfig's capacities. */
+inline WorkloadProfile
+tinyProfile(const char *name = "tiny")
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.sharedHotBytes = 64 * 1024;
+    p.sharedColdBytes = 768 * 1024;
+    p.streamBytes = 0;
+    p.migratoryBytes = 32 * 1024;
+    p.privateBytesPerThread = 64 * 1024;
+    p.fracSharedHot = 0.3;
+    p.fracSharedCold = 0.3;
+    p.fracMigratory = 0.05;
+    p.writeFracShared = 0.12;
+    p.writeFracSharedCold = 0.02;
+    p.writeFracPrivate = 0.2;
+    p.avgGap = 3;
+    return p;
+}
+
+} // namespace c3d::test
+
+#endif // C3DSIM_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for channels and the ring/P2P interconnect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "interconnect/channel.hh"
+#include "interconnect/interconnect.hh"
+#include "sim/event_queue.hh"
+
+namespace c3d
+{
+namespace
+{
+
+TEST(Channel, SerializesBackToBackTransfers)
+{
+    StatGroup g("t");
+    Channel ch;
+    ch.init(Bandwidth::fromGBps(12.8), &g, "ch");
+    const Tick t1 = ch.acquire(0, 64);
+    const Tick t2 = ch.acquire(0, 64);
+    EXPECT_GT(t1, 0u);
+    EXPECT_EQ(t2, 2 * t1); // second waits for the first
+    EXPECT_EQ(ch.bytes(), 128u);
+}
+
+TEST(Channel, IdleChannelStartsImmediately)
+{
+    StatGroup g("t");
+    Channel ch;
+    ch.init(Bandwidth::fromGBps(12.8), &g, "ch");
+    ch.acquire(0, 64);
+    const Tick later = 10000;
+    const Tick done = ch.acquire(later, 64);
+    // 64B at 12.8 GB/s is 15-16 ticks.
+    EXPECT_LE(done - later, 16u);
+}
+
+TEST(Channel, InfiniteBandwidthNoOccupancy)
+{
+    StatGroup g("t");
+    Channel ch;
+    ch.init(Bandwidth(), &g, "ch");
+    EXPECT_EQ(ch.acquire(5, 1 << 20), 5u);
+    EXPECT_EQ(ch.acquire(5, 1 << 20), 5u);
+}
+
+class InterconnectTest : public ::testing::Test
+{
+  protected:
+    SystemConfig
+    config(std::uint32_t sockets)
+    {
+        SystemConfig cfg;
+        cfg.numSockets = sockets;
+        return cfg;
+    }
+};
+
+TEST_F(InterconnectTest, RingHopCounts)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    Interconnect noc(eq, config(4), &g);
+    EXPECT_EQ(noc.hopCount(0, 0), 0u);
+    EXPECT_EQ(noc.hopCount(0, 1), 1u);
+    EXPECT_EQ(noc.hopCount(0, 2), 2u); // opposite corner
+    EXPECT_EQ(noc.hopCount(0, 3), 1u); // wrap-around
+    EXPECT_EQ(noc.hopCount(1, 3), 2u);
+    EXPECT_EQ(noc.hopCount(3, 0), 1u);
+}
+
+TEST_F(InterconnectTest, P2PSingleHop)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    Interconnect noc(eq, config(2), &g);
+    EXPECT_EQ(noc.hopCount(0, 1), 1u);
+    EXPECT_EQ(noc.hopCount(1, 0), 1u);
+}
+
+TEST_F(InterconnectTest, BaseLatencyIsHopTimesDelay)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    SystemConfig cfg = config(4);
+    Interconnect noc(eq, cfg, &g);
+    EXPECT_EQ(noc.baseLatency(0, 1), cfg.hopLatency);
+    EXPECT_EQ(noc.baseLatency(0, 2), 2 * cfg.hopLatency);
+}
+
+TEST_F(InterconnectTest, DeliveryTimeIncludesHopLatency)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    SystemConfig cfg = config(4);
+    Interconnect noc(eq, cfg, &g);
+    Tick arrival = 0;
+    noc.send(0, 2, PacketKind::Control,
+             [&] { arrival = eq.now(); });
+    eq.run();
+    // Two hops: 2x hop latency plus two link serializations.
+    EXPECT_GE(arrival, 2 * cfg.hopLatency);
+    EXPECT_LE(arrival, 2 * cfg.hopLatency + 20);
+}
+
+TEST_F(InterconnectTest, LocalDeliveryIsFreeAndUncounted)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    Interconnect noc(eq, config(4), &g);
+    bool delivered = false;
+    noc.send(2, 2, PacketKind::Data, [&] { delivered = true; });
+    eq.run();
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(noc.totalBytes(), 0u);
+    EXPECT_EQ(noc.packetsSent(), 0u);
+}
+
+TEST_F(InterconnectTest, PacketSizesCounted)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    SystemConfig cfg = config(2);
+    Interconnect noc(eq, cfg, &g);
+    noc.send(0, 1, PacketKind::Control, [] {});
+    noc.send(0, 1, PacketKind::Data, [] {});
+    eq.run();
+    EXPECT_EQ(noc.controlBytes(), cfg.controlPacketBytes);
+    EXPECT_EQ(noc.dataBytes(), cfg.dataPacketBytes);
+    EXPECT_EQ(noc.totalBytes(),
+              cfg.controlPacketBytes + cfg.dataPacketBytes);
+}
+
+TEST_F(InterconnectTest, MultiHopChargesEveryLink)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    SystemConfig cfg = config(4);
+    Interconnect noc(eq, cfg, &g);
+    noc.send(0, 2, PacketKind::Data, [] {});
+    eq.run();
+    // Hop-weighted bytes: 2 links x 80 B.
+    EXPECT_EQ(noc.linkTraversalBytes(), 2u * cfg.dataPacketBytes);
+    EXPECT_EQ(noc.dataBytes(), cfg.dataPacketBytes);
+}
+
+TEST_F(InterconnectTest, ZeroHopLatencyIdealization)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    SystemConfig cfg = config(2);
+    cfg.zeroHopLatency = true;
+    cfg.infiniteLinkBandwidth = true;
+    Interconnect noc(eq, cfg, &g);
+    Tick arrival = MaxTick;
+    noc.send(0, 1, PacketKind::Data, [&] { arrival = eq.now(); });
+    eq.run();
+    EXPECT_EQ(arrival, 0u);
+}
+
+TEST_F(InterconnectTest, LinkCongestionDelaysPackets)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    SystemConfig cfg = config(2);
+    Interconnect noc(eq, cfg, &g);
+    std::vector<Tick> arrivals;
+    for (int i = 0; i < 200; ++i) {
+        noc.send(0, 1, PacketKind::Data,
+                 [&] { arrivals.push_back(eq.now()); });
+    }
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 200u);
+    // Later packets serialize behind earlier ones.
+    EXPECT_GT(arrivals.back(), arrivals.front());
+}
+
+TEST_F(InterconnectTest, FifoPerLink)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    Interconnect noc(eq, config(2), &g);
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        noc.send(0, 1, PacketKind::Control,
+                 [&order, i] { order.push_back(i); });
+    }
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+} // namespace
+} // namespace c3d
+
+namespace c3d
+{
+namespace
+{
+
+TEST(InterconnectRegression, NoPhantomFutureReservations)
+{
+    // Regression for the store-and-forward fix: a 2-hop packet must
+    // not reserve its second link ahead of time -- a later packet
+    // wanting that link *now* would otherwise queue behind a
+    // reservation in the future.
+    EventQueue eq;
+    StatGroup g("t");
+    SystemConfig cfg;
+    cfg.numSockets = 4;
+    Interconnect noc(eq, cfg, &g);
+
+    // Packet A: 0 -> 2 (two hops through socket 1).
+    Tick a_arrival = 0;
+    noc.send(0, 2, PacketKind::Data, [&] { a_arrival = eq.now(); });
+    // Packet B: 1 -> 2 (one hop, using A's second link) sent at the
+    // same time. B reaches the 1->2 link long before A does; it must
+    // not wait for A.
+    Tick b_arrival = 0;
+    noc.send(1, 2, PacketKind::Data, [&] { b_arrival = eq.now(); });
+    eq.run();
+    ASSERT_GT(a_arrival, 0u);
+    ASSERT_GT(b_arrival, 0u);
+    // B's single hop: hop latency plus one serialization, well under
+    // A's two hops.
+    EXPECT_LT(b_arrival, cfg.hopLatency + 30);
+    EXPECT_GT(a_arrival, b_arrival);
+}
+
+TEST(InterconnectRegression, BackToBackHopsAccumulate)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    SystemConfig cfg;
+    cfg.numSockets = 4;
+    Interconnect noc(eq, cfg, &g);
+    Tick two_hop = 0, one_hop = 0;
+    noc.send(0, 2, PacketKind::Control, [&] { two_hop = eq.now(); });
+    eq.run();
+    eq.reset();
+    noc.send(0, 1, PacketKind::Control, [&] { one_hop = eq.now(); });
+    eq.run();
+    EXPECT_GT(two_hop, one_hop);
+    EXPECT_GE(two_hop, 2 * cfg.hopLatency);
+}
+
+} // namespace
+} // namespace c3d

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the Runner: warm-up/measurement windows, metrics, and
+ * multi-run isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/runner.hh"
+#include "test_helpers.hh"
+
+namespace c3d
+{
+namespace
+{
+
+using test::tinyConfig;
+using test::tinyProfile;
+
+TEST(Runner, ProducesNonTrivialMetrics)
+{
+    setQuiet(true);
+    SystemConfig cfg = tinyConfig(Design::C3D);
+    SyntheticWorkload wl(tinyProfile(), cfg.totalCores(),
+                         cfg.coresPerSocket);
+    Runner r(cfg, wl);
+    const RunResult res = r.run(500, 1500);
+    EXPECT_GT(res.measuredTicks, 0u);
+    EXPECT_GT(res.instructions, 1500u * cfg.totalCores());
+    EXPECT_GT(res.memReads, 0u);
+    EXPECT_GT(res.ipc(), 0.0);
+    EXPECT_LT(res.ipc(), static_cast<double>(cfg.totalCores()));
+}
+
+TEST(Runner, WarmupExcludedFromWindow)
+{
+    setQuiet(true);
+    SystemConfig cfg = tinyConfig(Design::Baseline);
+    // Same measurement quota, different warm-up: measured reads stay
+    // in the same ballpark (the warm-up accesses are not counted).
+    const RunResult a = runWorkload(cfg, tinyProfile(), 200, 2000);
+    const RunResult b = runWorkload(cfg, tinyProfile(), 2000, 2000);
+    const double ratio = static_cast<double>(a.memReads) /
+        static_cast<double>(b.memReads);
+    EXPECT_GT(ratio, 0.7);
+    EXPECT_LT(ratio, 1.5);
+}
+
+TEST(Runner, LongerWarmupImprovesDramCacheHitRate)
+{
+    setQuiet(true);
+    SystemConfig cfg = tinyConfig(Design::C3D);
+    const RunResult cold = runWorkload(cfg, tinyProfile(), 100, 2000);
+    const RunResult warm = runWorkload(cfg, tinyProfile(), 5000, 2000);
+    const double cold_rate = static_cast<double>(cold.dramCacheHits) /
+        (cold.dramCacheHits + cold.dramCacheMisses + 1);
+    const double warm_rate = static_cast<double>(warm.dramCacheHits) /
+        (warm.dramCacheHits + warm.dramCacheMisses + 1);
+    EXPECT_GE(warm_rate, cold_rate);
+}
+
+TEST(Runner, MeasureScalesWithQuota)
+{
+    setQuiet(true);
+    SystemConfig cfg = tinyConfig(Design::Baseline);
+    const RunResult small = runWorkload(cfg, tinyProfile(), 500, 1000);
+    const RunResult big = runWorkload(cfg, tinyProfile(), 500, 4000);
+    const double ratio = static_cast<double>(big.instructions) /
+        static_cast<double>(small.instructions);
+    EXPECT_NEAR(ratio, 4.0, 0.3);
+}
+
+TEST(Runner, SingleThreadedRunsOnlyCoreZero)
+{
+    setQuiet(true);
+    SystemConfig cfg = tinyConfig(Design::C3D);
+    WorkloadProfile p = tinyProfile("st");
+    p.singleThreaded = true;
+    SyntheticWorkload wl(p, cfg.totalCores(), cfg.coresPerSocket);
+    Runner r(cfg, wl);
+    const RunResult res = r.run(200, 800);
+    EXPECT_GT(res.measuredTicks, 0u);
+    EXPECT_EQ(r.cores()[0]->opsIssued(), 1000u);
+    for (std::size_t c = 1; c < r.cores().size(); ++c)
+        EXPECT_EQ(r.cores()[c]->opsIssued(), 0u);
+}
+
+TEST(Runner, BarriersBoundCoreSkew)
+{
+    setQuiet(true);
+    SystemConfig cfg = tinyConfig(Design::Baseline);
+    WorkloadProfile p = tinyProfile();
+    p.barrierOps = 500;
+    SyntheticWorkload wl(p, cfg.totalCores(), cfg.coresPerSocket);
+    Runner r(cfg, wl);
+    r.run(1000, 3000);
+    Tick fmin = MaxTick, fmax = 0;
+    for (const auto &c : r.cores()) {
+        fmin = std::min(fmin, c->finishAt());
+        fmax = std::max(fmax, c->finishAt());
+    }
+    EXPECT_LT(static_cast<double>(fmax - fmin),
+              0.2 * static_cast<double>(fmax));
+}
+
+TEST(Runner, RunWorkloadConvenienceMatchesManual)
+{
+    setQuiet(true);
+    SystemConfig cfg = tinyConfig(Design::C3D);
+    const RunResult a = runWorkload(cfg, tinyProfile(), 500, 1500);
+    SyntheticWorkload wl(tinyProfile(), cfg.totalCores(),
+                         cfg.coresPerSocket);
+    Runner r(cfg, wl);
+    const RunResult b = r.run(500, 1500);
+    EXPECT_EQ(a.measuredTicks, b.measuredTicks);
+    EXPECT_EQ(a.memReads, b.memReads);
+}
+
+} // namespace
+} // namespace c3d

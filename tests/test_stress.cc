@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Randomized cross-socket stress tests: hammer a tiny address pool
+ * from every core under every design to maximize protocol races
+ * (recalls, forwards, broadcasts, upgrade races, writeback races),
+ * then audit structural invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "sim/machine.hh"
+#include "test_helpers.hh"
+
+namespace c3d
+{
+namespace
+{
+
+/** Drive random loads/stores from all cores concurrently. */
+class StressDriver
+{
+  public:
+    StressDriver(Machine &m, std::uint64_t pool_blocks,
+                 std::uint64_t ops_per_core, double write_frac,
+                 std::uint64_t seed)
+        : m(m), poolBlocks(pool_blocks), opsPerCore(ops_per_core),
+          writeFrac(write_frac)
+    {
+        const std::uint32_t total = m.config().totalCores();
+        rngs.reserve(total);
+        remaining.assign(total, ops_per_core);
+        for (std::uint32_t c = 0; c < total; ++c)
+            rngs.emplace_back(seed * 77 + c);
+    }
+
+    void
+    run()
+    {
+        const std::uint32_t total = m.config().totalCores();
+        for (CoreId c = 0; c < total; ++c)
+            next(c);
+        m.eventQueue().run();
+        for (std::uint32_t c = 0; c < total; ++c)
+            EXPECT_EQ(remaining[c], 0u) << "core " << c << " stuck";
+    }
+
+  private:
+    void
+    next(CoreId c)
+    {
+        if (remaining[c] == 0)
+            return;
+        --remaining[c];
+        const SocketId s = c / m.config().coresPerSocket;
+        const std::uint32_t local = c % m.config().coresPerSocket;
+        const Addr addr = rngs[c].below(poolBlocks) * BlockBytes;
+        if (rngs[c].chance(writeFrac)) {
+            m.socket(s).store(local, addr, false,
+                              [this, c] { next(c); });
+        } else {
+            m.socket(s).load(local, addr, [this, c] { next(c); });
+        }
+    }
+
+    Machine &m;
+    const std::uint64_t poolBlocks;
+    const std::uint64_t opsPerCore;
+    const double writeFrac;
+    std::vector<Rng> rngs;
+    std::vector<std::uint64_t> remaining;
+};
+
+/** Audit SWMR + clean-cache invariants over the pool. */
+void
+auditInvariants(Machine &m, std::uint64_t pool_blocks)
+{
+    const SystemConfig &cfg = m.config();
+    for (std::uint64_t b = 0; b < pool_blocks; ++b) {
+        const Addr a = b * BlockBytes;
+        SocketId owner = InvalidSocket;
+        for (SocketId s = 0; s < cfg.numSockets; ++s) {
+            if (m.socket(s).llcState(a) == CacheState::Modified) {
+                ASSERT_EQ(owner, InvalidSocket)
+                    << "two Modified owners for block " << b;
+                owner = s;
+            }
+        }
+        if (owner != InvalidSocket) {
+            for (SocketId s = 0; s < cfg.numSockets; ++s) {
+                if (s == owner)
+                    continue;
+                EXPECT_EQ(m.socket(s).llcState(a),
+                          CacheState::Invalid)
+                    << "block " << b << " valid beside owner";
+                if (m.socket(s).dramCache()) {
+                    EXPECT_FALSE(m.socket(s).dramCache()->contains(a))
+                        << "block " << b
+                        << " in a remote DRAM cache beside owner";
+                }
+            }
+        }
+        if (cfg.cleanDramCache()) {
+            for (SocketId s = 0; s < cfg.numSockets; ++s) {
+                if (m.socket(s).dramCache()) {
+                    EXPECT_FALSE(m.socket(s).dramCache()->isDirty(a))
+                        << "dirty block in clean DRAM cache";
+                }
+            }
+        }
+    }
+}
+
+class StressSweep
+    : public ::testing::TestWithParam<std::tuple<Design, double>>
+{
+};
+
+TEST_P(StressSweep, HotPoolHammering)
+{
+    setQuiet(true);
+    const auto [design, write_frac] = GetParam();
+    SystemConfig cfg = test::tinyConfig(design, 4, 2);
+    cfg.mapping = MappingPolicy::Interleave;
+    Machine m(cfg);
+    // 48 blocks across 8 cores: heavy same-block contention.
+    constexpr std::uint64_t Pool = 48;
+    StressDriver driver(m, Pool, 400, write_frac, 0x5EED);
+    driver.run();
+    auditInvariants(m, Pool);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignsAndWriteMixes, StressSweep,
+    ::testing::Combine(::testing::Values(Design::Baseline,
+                                         Design::Snoopy,
+                                         Design::FullDir, Design::C3D,
+                                         Design::C3DFullDir),
+                       ::testing::Values(0.1, 0.5, 0.9)),
+    [](const auto &info) {
+        std::string name = designName(std::get<0>(info.param));
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        const int pct =
+            static_cast<int>(std::get<1>(info.param) * 100);
+        return name + "_w" + std::to_string(pct);
+    });
+
+TEST(Stress, TinyDirectoryForcesRecalls)
+{
+    // A deliberately minuscule sparse directory: every allocation
+    // recalls. The protocol must stay coherent through constant
+    // recall-invalidation storms.
+    setQuiet(true);
+    SystemConfig cfg = test::tinyConfig(Design::C3D, 2, 2);
+    cfg.mapping = MappingPolicy::Interleave;
+    cfg.sparseDirFactor = 1;
+    cfg.sparseDirWays = 2;
+    cfg.llcBytes = 16 * 1024; // tiny LLC: tiny directory
+    Machine m(cfg);
+    constexpr std::uint64_t Pool = 512;
+    StressDriver driver(m, Pool, 600, 0.4, 0xABCD);
+    driver.run();
+    EXPECT_GT(m.stats().sumMatching(".recalls"), 0u);
+    auditInvariants(m, Pool);
+}
+
+TEST(Stress, SingleBlockTotalContention)
+{
+    // Every core loads and stores the same block: the blocking
+    // directory serializes a long dependence chain; everything must
+    // drain with one final owner.
+    setQuiet(true);
+    for (Design d : {Design::Baseline, Design::C3D, Design::Snoopy}) {
+        SystemConfig cfg = test::tinyConfig(d, 4, 2);
+        cfg.mapping = MappingPolicy::Interleave;
+        Machine m(cfg);
+        StressDriver driver(m, 1, 200, 0.5, 7);
+        driver.run();
+        auditInvariants(m, 1);
+    }
+}
+
+} // namespace
+} // namespace c3d

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the binary trace file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_file.hh"
+
+namespace c3d
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "c3dsim_trace_test.bin";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST_F(TraceFileTest, RoundTrip)
+{
+    {
+        TraceFileWriter w(path, 2);
+        w.append({0, 3, MemOp::Read, 0x1000});
+        w.append({1, 0, MemOp::Write, 0x2040});
+        w.append({0, 7, MemOp::Read, 0x3000});
+        w.close();
+    }
+    TraceFileWorkload wl(path);
+    EXPECT_EQ(wl.fileCores(), 2u);
+    EXPECT_EQ(wl.records(), 3u);
+
+    const TraceOp a = wl.next(0);
+    EXPECT_EQ(a.addr, 0x1000u);
+    EXPECT_EQ(a.gap, 3u);
+    EXPECT_EQ(a.op, MemOp::Read);
+
+    const TraceOp b = wl.next(1);
+    EXPECT_EQ(b.addr, 0x2040u);
+    EXPECT_EQ(b.op, MemOp::Write);
+}
+
+TEST_F(TraceFileTest, PerCoreStreamsWrapAround)
+{
+    {
+        TraceFileWriter w(path, 1);
+        w.append({0, 0, MemOp::Read, 0xA0});
+        w.append({0, 0, MemOp::Read, 0xB0});
+        w.close();
+    }
+    TraceFileWorkload wl(path);
+    EXPECT_EQ(wl.next(0).addr, 0xA0u);
+    EXPECT_EQ(wl.next(0).addr, 0xB0u);
+    EXPECT_EQ(wl.next(0).addr, 0xA0u); // wrapped
+}
+
+TEST_F(TraceFileTest, ActiveCoresClampedToFile)
+{
+    {
+        TraceFileWriter w(path, 3);
+        for (std::uint16_t c = 0; c < 3; ++c)
+            w.append({c, 0, MemOp::Read, c * 0x100ull});
+        w.close();
+    }
+    TraceFileWorkload wl(path);
+    EXPECT_EQ(wl.activeCores(32), 3u);
+    EXPECT_EQ(wl.activeCores(2), 2u);
+}
+
+TEST_F(TraceFileTest, WriterCountsRecords)
+{
+    TraceFileWriter w(path, 1);
+    for (int i = 0; i < 100; ++i)
+        w.append({0, 0, MemOp::Read, static_cast<Addr>(i) * 64});
+    EXPECT_EQ(w.recordsWritten(), 100u);
+    w.close();
+    TraceFileWorkload wl(path);
+    EXPECT_EQ(wl.records(), 100u);
+}
+
+TEST_F(TraceFileTest, RejectsGarbageFile)
+{
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("not a trace file at all, sorry", f);
+        std::fclose(f);
+    }
+    EXPECT_DEATH({ TraceFileWorkload wl(path); }, "");
+}
+
+TEST_F(TraceFileTest, RejectsMissingFile)
+{
+    EXPECT_DEATH({ TraceFileWorkload wl("/nonexistent/x.trace"); },
+                 "");
+}
+
+} // namespace
+} // namespace c3d
