@@ -8,13 +8,17 @@
  *  3. Mapping policy (INT / FT1 / FT2) on the C3D machine.
  *  4. Private vs shared DRAM-cache organization (§II-C), functional
  *     hit-rate comparison.
+ *
+ * Each study is one declarative grid on the sweep engine; under
+ * --json the four result tables are concatenated (variant names
+ * carry a study prefix).
  */
 
 #include <cstdio>
 #include <vector>
 
+#include "bench_main.hh"
 #include "cache/capacity_analyzer.hh"
-#include "harness.hh"
 
 namespace
 {
@@ -23,101 +27,177 @@ using namespace c3d;
 using namespace c3d::bench;
 
 void
-ablateCleanVsDirty()
+ablateCleanVsDirty(const BenchRun &br, exp::ResultTable &all)
 {
+    exp::SweepGrid grid;
+    grid.workloads = {facesimProfile(), nutchProfile(),
+                      streamclusterProfile()};
+    grid.designs = {Design::Baseline, Design::FullDir,
+                    Design::C3DFullDir};
+    grid.variants = {{"clean-vs-dirty", nullptr}};
+    grid = br.quickened(grid);
+
+    const exp::ResultTable table = br.run(grid);
+    all.append(table);
+    if (br.jsonOnly())
+        return;
+
     std::printf("\n--- ablation 1: clean (c3d-full-dir) vs dirty "
                 "(full-dir) under a full directory ---\n");
     std::printf("%-16s %14s %14s %14s\n", "workload", "dirty(x)",
                 "clean(x)", "clean adv.");
-    for (const WorkloadProfile &p :
-         {facesimProfile(), nutchProfile(), streamclusterProfile()}) {
-        const RunResult base =
-            runOne(benchConfig(Design::Baseline), p);
-        const RunResult dirty =
-            runOne(benchConfig(Design::FullDir), p);
-        const RunResult clean =
-            runOne(benchConfig(Design::C3DFullDir), p);
-        const double sd = static_cast<double>(base.measuredTicks) /
-            static_cast<double>(dirty.measuredTicks);
-        const double sc = static_cast<double>(base.measuredTicks) /
-            static_cast<double>(clean.measuredTicks);
-        std::printf("%-16s %14.3f %14.3f %13.1f%%\n", p.name.c_str(),
-                    sd, sc, 100.0 * (sc / sd - 1.0));
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        const double base = ticksAt(table, w, 0, 0);
+        const double sd = base / ticksAt(table, w, 0, 1);
+        const double sc = base / ticksAt(table, w, 0, 2);
+        std::printf("%-16s %14.3f %14.3f %13.1f%%\n",
+                    grid.workloads[w].name.c_str(), sd, sc,
+                    100.0 * (sc / sd - 1.0));
     }
 }
 
 void
-ablateMissPredictor()
+ablateMissPredictor(const BenchRun &br, exp::ResultTable &all)
 {
+    // Two grids: the predictor variants only exist on the C3D
+    // machine, and the no-DRAM-cache baseline reference would
+    // otherwise be simulated once per variant for identical results.
+    exp::SweepGrid ref;
+    ref.workloads = {cannealProfile(), streamclusterProfile()};
+    ref.designs = {Design::Baseline};
+    ref.variants = {{"predictor=reference", nullptr}};
+    ref = br.quickened(ref);
+
+    exp::SweepGrid grid;
+    grid.workloads = ref.workloads;
+    grid.designs = {Design::C3D};
+    grid.variants = {
+        {"predictor=missmap", nullptr},
+        {"predictor=counting",
+         [](SystemConfig &c) { c.missPredictorExact = false; }},
+        {"predictor=disabled",
+         [](SystemConfig &c) { c.missPredictorEnabled = false; }},
+    };
+    grid = br.quickened(grid);
+
+    const exp::ResultTable base_table = br.run(ref);
+    const exp::ResultTable table = br.run(grid);
+    all.append(base_table);
+    all.append(table);
+    if (br.jsonOnly())
+        return;
+
     std::printf("\n--- ablation 2: DRAM-cache miss predictor ---\n");
     std::printf("%-16s %14s %14s %14s\n", "workload", "missmap(x)",
                 "counting(x)", "disabled(x)");
-    for (const WorkloadProfile &p :
-         {cannealProfile(), streamclusterProfile()}) {
-        const RunResult base =
-            runOne(benchConfig(Design::Baseline), p);
-        auto speedup = [&](bool enabled, bool exact) {
-            SystemConfig cfg = benchConfig(Design::C3D);
-            cfg.missPredictorEnabled = enabled;
-            cfg.missPredictorExact = exact;
-            const RunResult r = runOne(cfg, p);
-            return static_cast<double>(base.measuredTicks) /
-                static_cast<double>(r.measuredTicks);
-        };
-        std::printf("%-16s %14.3f %14.3f %14.3f\n", p.name.c_str(),
-                    speedup(true, true), speedup(true, false),
-                    speedup(false, false));
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        const double base = ticksAt(base_table, w, 0, 0);
+        std::printf("%-16s %14.3f %14.3f %14.3f\n",
+                    grid.workloads[w].name.c_str(),
+                    base / ticksAt(table, w, 0, 0),
+                    base / ticksAt(table, w, 1, 0),
+                    base / ticksAt(table, w, 2, 0));
     }
 }
 
 void
-ablateMappingPolicy()
+ablateMappingPolicy(const BenchRun &br, exp::ResultTable &all)
 {
+    exp::SweepGrid grid;
+    grid.workloads = {facesimProfile(), cassandraProfile()};
+    grid.designs = {Design::C3D};
+    grid.variants = {{"mapping-policy", nullptr}};
+    grid.mappings = {MappingPolicy::Interleave,
+                     MappingPolicy::FirstTouch1,
+                     MappingPolicy::FirstTouch2};
+    grid = br.quickened(grid);
+
+    const exp::ResultTable table = br.run(grid);
+    all.append(table);
+    if (br.jsonOnly())
+        return;
+
     std::printf("\n--- ablation 3: page placement policy under C3D "
                 "---\n");
     std::printf("%-16s %14s %14s %14s\n", "workload", "INT ticks",
                 "FT1 ticks", "FT2 ticks");
-    for (const WorkloadProfile &p :
-         {facesimProfile(), cassandraProfile()}) {
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
         std::vector<double> ticks;
-        for (MappingPolicy mp : {MappingPolicy::Interleave,
-                                 MappingPolicy::FirstTouch1,
-                                 MappingPolicy::FirstTouch2}) {
-            SystemConfig cfg = benchConfig(Design::C3D);
-            cfg.mapping = mp;
+        for (std::size_t m = 0; m < grid.mappings.size(); ++m) {
+            const exp::ResultRow *row =
+                table.find(w, SIZE_MAX, SIZE_MAX, SIZE_MAX, SIZE_MAX,
+                           m);
+            if (!row)
+                c3d_fatal("sweep table is missing an expected row");
             ticks.push_back(
-                static_cast<double>(runOne(cfg, p).measuredTicks));
+                static_cast<double>(row->metrics.measuredTicks));
         }
-        std::printf("%-16s %14.0f %14.0f %14.0f\n", p.name.c_str(),
-                    ticks[0], ticks[1], ticks[2]);
+        std::printf("%-16s %14.0f %14.0f %14.0f\n",
+                    grid.workloads[w].name.c_str(), ticks[0],
+                    ticks[1], ticks[2]);
     }
 }
 
 void
-ablateSharedVsPrivate()
+ablateSharedVsPrivate(const BenchRun &br, exp::ResultTable &all)
 {
+    exp::SweepGrid grid;
+    grid.workloads = {streamclusterProfile(), cannealProfile(),
+                      tunkrankProfile()};
+    grid.designs = {Design::C3D};
+    grid.variants = {{"dram-cache=private", nullptr},
+                     {"dram-cache=shared", nullptr}};
+    grid.measureOps = 200000;
+    grid.warmupOps = 1; // unused by the functional replay
+    grid = br.quickened(grid);
+
+    // Functional replay against the (scaled) DRAM-cache capacity:
+    // variant 1 pools all sockets' capacity into one shared cache.
+    const auto replay = [](const exp::RunSpec &spec) {
+        SyntheticWorkload wl(spec.profile.scaled(spec.scale),
+                             spec.cfg.totalCores(),
+                             spec.cfg.coresPerSocket);
+        const CapacityResult r = analyzeCapacity(
+            wl, spec.cfg.numSockets, spec.cfg.coresPerSocket,
+            spec.cfg.dramCacheBytes, /*ways=*/1,
+            /*shared=*/spec.variantIdx == 1, spec.measureOps);
+        RunResult m;
+        m.instructions = r.references;
+        m.memReads = r.cacheMisses;
+        m.llcMisses = r.cacheMisses;
+        m.remoteMemReads = r.remoteMisses;
+        return m;
+    };
+
+    const exp::ResultTable table = br.run(grid, replay);
+    all.append(table);
+    if (br.jsonOnly())
+        return;
+
     std::printf("\n--- ablation 4: shared vs private DRAM-cache "
                 "organization (functional, SII-C) ---\n");
     std::printf("%-16s %16s %16s %18s\n", "workload",
                 "private miss%", "shared miss%", "private remote%");
-    for (const WorkloadProfile &p :
-         {streamclusterProfile(), cannealProfile(),
-          tunkrankProfile()}) {
-        const WorkloadProfile sp = p.scaled(Scale);
-        SyntheticWorkload wl_p(sp, 32, 8);
-        SyntheticWorkload wl_s(sp, 32, 8);
-        const std::uint64_t dc_bytes = (1024ull << 20) / Scale;
-        const CapacityResult priv = analyzeCapacity(
-            wl_p, 4, 8, dc_bytes, 1, /*shared=*/false, 200000);
-        const CapacityResult shared = analyzeCapacity(
-            wl_s, 4, 8, dc_bytes, 1, /*shared=*/true, 200000);
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        const exp::ResultRow *priv = table.find(w, 0);
+        const exp::ResultRow *shared = table.find(w, 1);
+        if (!priv || !shared)
+            c3d_fatal("sweep table is missing an expected row");
+        const auto miss_rate = [](const exp::ResultRow *r) {
+            return r->metrics.instructions
+                ? static_cast<double>(r->metrics.llcMisses) /
+                    static_cast<double>(r->metrics.instructions)
+                : 0.0;
+        };
         std::printf("%-16s %15.1f%% %15.1f%% %17.1f%%\n",
-                    p.name.c_str(), 100.0 * priv.missRate(),
-                    100.0 * shared.missRate(),
-                    priv.cacheMisses
+                    priv->workload.c_str(), 100.0 * miss_rate(priv),
+                    100.0 * miss_rate(shared),
+                    priv->metrics.llcMisses
                         ? 100.0 *
-                            static_cast<double>(priv.remoteMisses) /
-                            static_cast<double>(priv.cacheMisses)
+                            static_cast<double>(
+                                priv->metrics.remoteMemReads) /
+                            static_cast<double>(
+                                priv->metrics.llcMisses)
                         : 0.0);
     }
     std::printf("(shared pools capacity -> fewer misses, but every "
@@ -129,14 +209,20 @@ ablateSharedVsPrivate()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printHeader("Ablations: clean property, miss predictor, "
+    BenchRun br(argc, argv,
+                "Ablations: clean property, miss predictor, "
                 "placement policy, shared-vs-private",
                 "design-choice isolation studies (DESIGN.md 5)");
-    ablateCleanVsDirty();
-    ablateMissPredictor();
-    ablateMappingPolicy();
-    ablateSharedVsPrivate();
+    if (!br.ok())
+        return br.exitCode();
+
+    exp::ResultTable all;
+    ablateCleanVsDirty(br, all);
+    ablateMissPredictor(br, all);
+    ablateMappingPolicy(br, all);
+    ablateSharedVsPrivate(br, all);
+    br.emit(all);
     return 0;
 }

@@ -7,19 +7,71 @@
  * socket. For a 2x-provisioned directory ... 32MB for a 256MB cache
  * or a whopping 128MB for a 1GB DRAM cache." C3D's directory only
  * covers the 16 MB LLC.
+ *
+ * Analytic (no simulation); --json emits the table in a small
+ * bench-specific schema (c3d-dir-cost/v1) for machine consumers.
+ * --quick and --jobs are accepted for command-line uniformity with
+ * the sweep benches but change nothing.
  */
 
 #include <cstdio>
+#include <string>
 
+#include "common/cli.hh"
 #include "core/dir_cost.hh"
+#include "exp/json.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace c3d;
 
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string key, value;
+        std::uint64_t n = 0;
+        const bool is_flag = splitFlag(argv[i], key, value);
+        if (is_flag && key == "json") {
+            json = true;
+        } else if (is_flag && key == "help") {
+            std::printf("usage: bench_dir_storage_cost [--json] "
+                        "[--quick] [--jobs=N]\n");
+            return 0;
+        } else if (is_flag &&
+                   (key == "quick" ||
+                    (key == "jobs" && parseU64(value, n)))) {
+            // accepted, no effect: the analysis is instantaneous
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_dir_storage_cost [--json] "
+                         "[--quick] [--jobs=N]\n");
+            return 2;
+        }
+    }
+
     const std::uint64_t llc = 16ull << 20;
     const std::uint64_t dram_cache = 1024ull << 20;
+
+    if (json) {
+        std::printf("{\n  \"schema\": \"c3d-dir-cost/v1\",\n"
+                    "  \"rows\": [");
+        bool first = true;
+        for (const DirCostRow &row :
+             directoryCostTable(llc, dram_cache)) {
+            std::printf("%s\n    {\"design\": \"%s\", "
+                        "\"covers_mb\": %llu, \"directory_mb\": "
+                        "%.3f}",
+                        first ? "" : ",",
+                        exp::jsonEscape(row.design).c_str(),
+                        static_cast<unsigned long long>(
+                            row.coveredBytes >> 20),
+                        static_cast<double>(row.directoryBytes) /
+                            (1 << 20));
+            first = false;
+        }
+        std::printf("\n  ]\n}\n");
+        return 0;
+    }
 
     std::printf("Directory storage cost per socket (paper SIII-B)\n");
     std::printf("%-28s %14s %14s\n", "organization", "covers (MB)",

@@ -11,52 +11,59 @@
 #include <cstdio>
 #include <vector>
 
-#include "harness.hh"
+#include "bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace c3d;
     using namespace c3d::bench;
 
-    printHeader("Fig. 10: speedup vs DRAM-cache latency "
+    BenchRun br(argc, argv,
+                "Fig. 10: speedup vs DRAM-cache latency "
                 "(30/40/50 ns, geomean over workloads)",
                 "c3d stays above baseline even at memory-equal 50ns "
                 "latency (>1.17x)");
+    if (!br.ok())
+        return br.exitCode();
 
+    // The paper plots the average across its suite; a representative
+    // subset keeps the grid affordable. The latency points form a
+    // variant axis (the baseline design has no DRAM cache and simply
+    // ignores the patch).
+    exp::SweepGrid grid;
+    grid.workloads = {facesimProfile(), streamclusterProfile(),
+                      cannealProfile(), nutchProfile()};
+    grid.designs = {Design::Baseline, Design::Snoopy, Design::FullDir,
+                    Design::C3D};
     const std::vector<std::uint64_t> lat_ns = {30, 40, 50};
+    for (const std::uint64_t ns : lat_ns) {
+        grid.variants.push_back(
+            {std::to_string(ns) + "ns" + (ns == 40 ? " (default)" : ""),
+             [ns](SystemConfig &c) {
+                 c.dramCacheLatency = nsToTicks(ns);
+             }});
+    }
+    grid = br.quickened(grid);
+
+    const exp::ResultTable table = br.run(grid);
+    if (br.emit(table))
+        return 0;
+
     std::vector<std::string> rows;
-    std::vector<Series> series = {{"snoopy", {}},
-                                  {"full-dir", {}},
-                                  {"c3d", {}}};
-
-    // Geomean across a representative workload subset per point (the
-    // paper plots the average across its suite).
-    const std::vector<WorkloadProfile> workloads = {
-        facesimProfile(), streamclusterProfile(), cannealProfile(),
-        nutchProfile()};
-
-    for (std::uint64_t ns : lat_ns) {
-        rows.push_back(std::to_string(ns) + "ns" +
-                       (ns == 40 ? " (default)" : ""));
-        std::vector<double> sn, fd, c3;
-        for (const WorkloadProfile &p : workloads) {
-            SystemConfig base_cfg = benchConfig(Design::Baseline);
-            const RunResult base = runOne(base_cfg, p);
-            auto speedup = [&](Design d) {
-                SystemConfig cfg = benchConfig(d);
-                cfg.dramCacheLatency = nsToTicks(ns);
-                const RunResult r = runOne(cfg, p);
-                return static_cast<double>(base.measuredTicks) /
-                    static_cast<double>(r.measuredTicks);
-            };
-            sn.push_back(speedup(Design::Snoopy));
-            fd.push_back(speedup(Design::FullDir));
-            c3.push_back(speedup(Design::C3D));
+    std::vector<Series> series;
+    for (std::size_t d = 1; d < grid.designs.size(); ++d)
+        series.push_back({designName(grid.designs[d]), {}});
+    for (std::size_t v = 0; v < grid.variants.size(); ++v) {
+        rows.push_back(grid.variants[v].name);
+        for (std::size_t d = 1; d < grid.designs.size(); ++d) {
+            std::vector<double> speedups;
+            for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+                speedups.push_back(ticksAt(table, w, v, 0) /
+                                   ticksAt(table, w, v, d));
+            }
+            series[d - 1].values.push_back(geomean(speedups));
         }
-        series[0].values.push_back(geomean(sn));
-        series[1].values.push_back(geomean(fd));
-        series[2].values.push_back(geomean(c3));
     }
 
     printTable(rows, series);

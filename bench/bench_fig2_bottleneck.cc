@@ -12,57 +12,55 @@
 #include <cstdio>
 #include <vector>
 
-#include "harness.hh"
+#include "bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace c3d;
     using namespace c3d::bench;
 
-    printHeader("Fig. 2: NUMA bottleneck analysis (baseline machine "
+    BenchRun br(argc, argv,
+                "Fig. 2: NUMA bottleneck analysis (baseline machine "
                 "idealizations)",
                 "zero-QPI-latency speeds up 14-60%; infinite "
                 "bandwidth barely helps");
+    if (!br.ok())
+        return br.exitCode();
+
+    exp::SweepGrid grid;
+    grid.workloads = parallelProfiles();
+    grid.designs = {Design::Baseline};
+    grid.variants = {
+        {"base", nullptr},
+        {"0_qpi_lat", [](SystemConfig &c) { c.zeroHopLatency = true; }},
+        {"inf_mem_bw",
+         [](SystemConfig &c) { c.infiniteMemBandwidth = true; }},
+        {"inf_qpi_bw",
+         [](SystemConfig &c) { c.infiniteLinkBandwidth = true; }},
+        {"inf_both",
+         [](SystemConfig &c) {
+             c.infiniteMemBandwidth = true;
+             c.infiniteLinkBandwidth = true;
+         }},
+    };
+    grid = br.quickened(grid);
+
+    const exp::ResultTable table = br.run(grid);
+    if (br.emit(table))
+        return 0;
 
     std::vector<std::string> names;
-    Series zero_lat{"0_qpi_lat", {}};
-    Series inf_mem{"inf_mem_bw", {}};
-    Series inf_qpi{"inf_qpi_bw", {}};
-    Series inf_both{"inf_both", {}};
-
-    for (const WorkloadProfile &p : parallelProfiles()) {
-        names.push_back(p.name);
-        SystemConfig cfg = benchConfig(Design::Baseline);
-        const RunResult base = runOne(cfg, p);
-
-        SystemConfig c1 = cfg;
-        c1.zeroHopLatency = true;
-        zero_lat.values.push_back(
-            static_cast<double>(base.measuredTicks) /
-            static_cast<double>(runOne(c1, p).measuredTicks));
-
-        SystemConfig c2 = cfg;
-        c2.infiniteMemBandwidth = true;
-        inf_mem.values.push_back(
-            static_cast<double>(base.measuredTicks) /
-            static_cast<double>(runOne(c2, p).measuredTicks));
-
-        SystemConfig c3 = cfg;
-        c3.infiniteLinkBandwidth = true;
-        inf_qpi.values.push_back(
-            static_cast<double>(base.measuredTicks) /
-            static_cast<double>(runOne(c3, p).measuredTicks));
-
-        SystemConfig c4 = cfg;
-        c4.infiniteMemBandwidth = true;
-        c4.infiniteLinkBandwidth = true;
-        inf_both.values.push_back(
-            static_cast<double>(base.measuredTicks) /
-            static_cast<double>(runOne(c4, p).measuredTicks));
+    std::vector<Series> series;
+    for (std::size_t v = 1; v < grid.variants.size(); ++v)
+        series.push_back({grid.variants[v].name, {}});
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        names.push_back(grid.workloads[w].name);
+        const double base = ticksAt(table, w, 0);
+        for (std::size_t v = 1; v < grid.variants.size(); ++v)
+            series[v - 1].values.push_back(base / ticksAt(table, w, v));
     }
-
-    printTable(names, {zero_lat, inf_mem, inf_qpi, inf_both});
+    printTable(names, series);
     std::printf("\npaper shape: 0_qpi_lat in 1.14-1.60x; bandwidth "
                 "columns near 1.0x\n");
     return 0;

@@ -14,13 +14,12 @@
 #include "speedup_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace c3d::bench;
-    printHeader("Fig. 6: 4-socket (8 cores/socket) speedup vs "
-                "baseline",
-                "c3d avg ~1.19x (streamcluster 1.51x); snoopy mostly "
-                "<1.0x; c3d-full-dir ~1.20x");
-    runSpeedupComparison(4);
-    return 0;
+    return c3d::bench::runSpeedupComparison(
+        argc, argv,
+        "Fig. 6: 4-socket (8 cores/socket) speedup vs baseline",
+        "c3d avg ~1.19x (streamcluster 1.51x); snoopy mostly "
+        "<1.0x; c3d-full-dir ~1.20x",
+        4);
 }

@@ -11,12 +11,11 @@
 #include "speedup_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace c3d::bench;
-    printHeader("Fig. 7: 2-socket (16 cores/socket) speedup vs "
-                "baseline",
-                "c3d avg ~1.24x, within 3% of c3d-full-dir (~1.26x)");
-    runSpeedupComparison(2);
-    return 0;
+    return c3d::bench::runSpeedupComparison(
+        argc, argv,
+        "Fig. 7: 2-socket (16 cores/socket) speedup vs baseline",
+        "c3d avg ~1.24x, within 3% of c3d-full-dir (~1.26x)",
+        2);
 }

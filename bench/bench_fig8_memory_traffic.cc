@@ -11,17 +11,29 @@
 #include <cstdio>
 #include <vector>
 
-#include "harness.hh"
+#include "bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace c3d;
     using namespace c3d::bench;
 
-    printHeader("Fig. 8: C3D memory traffic normalized to baseline",
+    BenchRun br(argc, argv,
+                "Fig. 8: C3D memory traffic normalized to baseline",
                 "reads drop ~71% avg (up to 99%); writes ~1.0; total "
                 "~0.51 avg");
+    if (!br.ok())
+        return br.exitCode();
+
+    exp::SweepGrid grid;
+    grid.workloads = parallelProfiles();
+    grid.designs = {Design::Baseline, Design::C3D};
+    grid = br.quickened(grid);
+
+    const exp::ResultTable table = br.run(grid);
+    if (br.emit(table))
+        return 0;
 
     std::vector<std::string> names;
     Series reads{"reads", {}};
@@ -29,22 +41,25 @@ main()
     Series total{"total", {}};
     Series remote_reads{"remote-reads", {}};
 
-    for (const WorkloadProfile &p : parallelProfiles()) {
-        names.push_back(p.name);
-        const RunResult base =
-            runOne(benchConfig(Design::Baseline), p);
-        const RunResult c3d = runOne(benchConfig(Design::C3D), p);
-        auto ratio = [](std::uint64_t a, std::uint64_t b) {
-            return b ? static_cast<double>(a) /
-                    static_cast<double>(b)
-                     : 1.0;
-        };
-        reads.values.push_back(ratio(c3d.memReads, base.memReads));
-        writes.values.push_back(ratio(c3d.memWrites, base.memWrites));
-        total.values.push_back(
-            ratio(c3d.memAccesses(), base.memAccesses()));
+    const auto ratio = [](std::uint64_t a, std::uint64_t b) {
+        return b ? static_cast<double>(a) / static_cast<double>(b)
+                 : 1.0;
+    };
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        names.push_back(grid.workloads[w].name);
+        const exp::ResultRow *base = table.find(w, 0, 0);
+        const exp::ResultRow *c3d = table.find(w, 0, 1);
+        if (!base || !c3d)
+            c3d_fatal("sweep table is missing an expected row");
+        reads.values.push_back(
+            ratio(c3d->metrics.memReads, base->metrics.memReads));
+        writes.values.push_back(
+            ratio(c3d->metrics.memWrites, base->metrics.memWrites));
+        total.values.push_back(ratio(c3d->metrics.memAccesses(),
+                                     base->metrics.memAccesses()));
         remote_reads.values.push_back(
-            ratio(c3d.remoteMemReads, base.remoteMemReads));
+            ratio(c3d->metrics.remoteMemReads,
+                  base->metrics.remoteMemReads));
     }
 
     printTable(names, {reads, writes, total, remote_reads});

@@ -13,41 +13,54 @@
 #include <cstdio>
 #include <vector>
 
-#include "harness.hh"
+#include "bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace c3d;
     using namespace c3d::bench;
 
-    printHeader("Fig. 9: inter-socket traffic normalized to baseline",
+    BenchRun br(argc, argv,
+                "Fig. 9: inter-socket traffic normalized to baseline",
                 "c3d ~0.64x of baseline, ~5% above full-dir; snoopy "
                 "well above 1x");
+    if (!br.ok())
+        return br.exitCode();
+
+    exp::SweepGrid grid;
+    grid.workloads = parallelProfiles();
+    grid.designs = {Design::Baseline, Design::Snoopy, Design::FullDir,
+                    Design::C3D, Design::C3DFullDir};
+    grid = br.quickened(grid);
+
+    const exp::ResultTable table = br.run(grid);
+    if (br.emit(table))
+        return 0;
 
     std::vector<std::string> names;
-    Series snoopy{"snoopy", {}};
-    Series fulldir{"full-dir", {}};
-    Series c3d{"c3d", {}};
-    Series c3dfd{"c3d-full-dir", {}};
-
-    for (const WorkloadProfile &p : parallelProfiles()) {
-        names.push_back(p.name);
-        const RunResult base =
-            runOne(benchConfig(Design::Baseline), p);
-        auto ratio = [&](Design d) {
-            const RunResult r = runOne(benchConfig(d), p);
-            return base.interSocketBytes
-                ? static_cast<double>(r.interSocketBytes) /
-                    static_cast<double>(base.interSocketBytes)
-                : 1.0;
-        };
-        snoopy.values.push_back(ratio(Design::Snoopy));
-        fulldir.values.push_back(ratio(Design::FullDir));
-        c3d.values.push_back(ratio(Design::C3D));
-        c3dfd.values.push_back(ratio(Design::C3DFullDir));
+    std::vector<Series> series;
+    for (std::size_t d = 1; d < grid.designs.size(); ++d)
+        series.push_back({designName(grid.designs[d]), {}});
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        names.push_back(grid.workloads[w].name);
+        const exp::ResultRow *base = table.find(w, 0, 0);
+        if (!base)
+            c3d_fatal("sweep table is missing an expected row");
+        for (std::size_t d = 1; d < grid.designs.size(); ++d) {
+            const exp::ResultRow *row = table.find(w, 0, d);
+            if (!row)
+                c3d_fatal("sweep table is missing an expected row");
+            series[d - 1].values.push_back(
+                base->metrics.interSocketBytes
+                    ? static_cast<double>(
+                          row->metrics.interSocketBytes) /
+                        static_cast<double>(
+                            base->metrics.interSocketBytes)
+                    : 1.0);
+        }
     }
 
-    printTable(names, {snoopy, fulldir, c3d, c3dfd});
+    printTable(names, series);
     return 0;
 }

@@ -12,18 +12,31 @@
 #include <cstdio>
 #include <map>
 
-#include "harness.hh"
+#include "bench_main.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace c3d;
     using namespace c3d::bench;
 
-    printHeader("Table I: remote-memory access fraction "
+    BenchRun br(argc, argv,
+                "Table I: remote-memory access fraction "
                 "(first-touch, 4-socket baseline)",
                 "61.6-76.6% of memory accesses are satisfied by a "
                 "remote socket");
+    if (!br.ok())
+        return br.exitCode();
+
+    exp::SweepGrid grid;
+    grid.workloads = parallelProfiles();
+    grid.designs = {Design::Baseline};
+    grid.mappings = {MappingPolicy::FirstTouch2};
+    grid = br.quickened(grid);
+
+    const exp::ResultTable table = br.run(grid);
+    if (br.emit(table))
+        return 0;
 
     const std::map<std::string, double> paper = {
         {"facesim", 76.6},      {"streamcluster", 73.6},
@@ -35,20 +48,19 @@ main()
     std::printf("%-16s %12s %12s\n", "workload", "paper", "measured");
     double sum = 0;
     int n = 0;
-    for (const WorkloadProfile &p : parallelProfiles()) {
-        SystemConfig cfg = benchConfig(Design::Baseline);
-        cfg.mapping = MappingPolicy::FirstTouch2;
-        const RunResult r = runOne(cfg, p);
-        const double frac = r.memAccesses()
-            ? 100.0 * static_cast<double>(r.remoteMemAccesses()) /
-                static_cast<double>(r.memAccesses())
+    for (const exp::ResultRow &r : table.rows()) {
+        const double frac = r.metrics.memAccesses()
+            ? 100.0 *
+                static_cast<double>(r.metrics.remoteMemAccesses()) /
+                static_cast<double>(r.metrics.memAccesses())
             : 0.0;
-        std::printf("%-16s %11.1f%% %11.1f%%\n", p.name.c_str(),
-                    paper.at(p.name), frac);
+        const auto it = paper.find(r.workload);
+        std::printf("%-16s %11.1f%% %11.1f%%\n", r.workload.c_str(),
+                    it != paper.end() ? it->second : 0.0, frac);
         sum += frac;
         ++n;
     }
     std::printf("%-16s %11.1f%% %11.1f%%\n", "average", 73.5,
-                sum / n);
+                n ? sum / n : 0.0);
     return 0;
 }

@@ -82,16 +82,17 @@ geomean(const std::vector<double> &xs)
     return std::exp(acc / static_cast<double>(xs.size()));
 }
 
-/** Print a standard bench header. */
+/** Print a standard bench header for a run at @p scale. */
 inline void
-printHeader(const char *experiment, const char *claim)
+printHeader(const char *experiment, const char *claim,
+            std::uint32_t scale = Scale)
 {
     std::printf("==================================================="
                 "=====================\n");
     std::printf("%s\n", experiment);
     std::printf("paper: %s\n", claim);
     std::printf("machine scale 1/%u; shapes (not absolute numbers) "
-                "are the target\n", Scale);
+                "are the target\n", scale);
     std::printf("==================================================="
                 "=====================\n");
 }

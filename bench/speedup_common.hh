@@ -1,8 +1,8 @@
 /**
  * @file
- * Shared driver for the Fig. 6 / Fig. 7 speedup comparisons: run all
- * nine workloads under all five designs and print speedups vs the
- * baseline without DRAM caches.
+ * Shared driver for the Fig. 6 / Fig. 7 speedup comparisons: a
+ * declarative workloads x designs grid on the sweep engine, printed
+ * as speedups vs the no-DRAM-cache baseline.
  */
 
 #ifndef C3DSIM_BENCH_SPEEDUP_COMMON_HH
@@ -11,36 +11,43 @@
 #include <cstdio>
 #include <vector>
 
-#include "harness.hh"
+#include "bench_main.hh"
 
 namespace c3d::bench
 {
 
-inline void
-runSpeedupComparison(std::uint32_t sockets)
+inline int
+runSpeedupComparison(int argc, char **argv, const char *experiment,
+                     const char *claim, std::uint32_t sockets)
 {
+    BenchRun br(argc, argv, experiment, claim);
+    if (!br.ok())
+        return br.exitCode();
+
+    exp::SweepGrid grid;
+    grid.workloads = parallelProfiles();
+    grid.designs = {Design::Baseline, Design::Snoopy, Design::FullDir,
+                    Design::C3D, Design::C3DFullDir};
+    grid.sockets = {sockets};
+    grid = br.quickened(grid);
+
+    const exp::ResultTable table = br.run(grid);
+    if (br.emit(table))
+        return 0;
+
     std::vector<std::string> names;
-    Series snoopy{"snoopy", {}};
-    Series fulldir{"full-dir", {}};
-    Series c3d{"c3d", {}};
-    Series c3dfd{"c3d-full-dir", {}};
-
-    for (const WorkloadProfile &p : parallelProfiles()) {
-        names.push_back(p.name);
-        const RunResult base =
-            runOne(benchConfig(Design::Baseline, sockets), p);
-        auto speedup = [&](Design d) {
-            const RunResult r = runOne(benchConfig(d, sockets), p);
-            return static_cast<double>(base.measuredTicks) /
-                static_cast<double>(r.measuredTicks);
-        };
-        snoopy.values.push_back(speedup(Design::Snoopy));
-        fulldir.values.push_back(speedup(Design::FullDir));
-        c3d.values.push_back(speedup(Design::C3D));
-        c3dfd.values.push_back(speedup(Design::C3DFullDir));
+    std::vector<Series> series;
+    for (std::size_t d = 1; d < grid.designs.size(); ++d)
+        series.push_back({designName(grid.designs[d]), {}});
+    for (std::size_t w = 0; w < grid.workloads.size(); ++w) {
+        names.push_back(grid.workloads[w].name);
+        const double base = ticksAt(table, w, 0, 0);
+        for (std::size_t d = 1; d < grid.designs.size(); ++d)
+            series[d - 1].values.push_back(base /
+                                           ticksAt(table, w, 0, d));
     }
-
-    printTable(names, {snoopy, fulldir, c3d, c3dfd});
+    printTable(names, series);
+    return 0;
 }
 
 } // namespace c3d::bench

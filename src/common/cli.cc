@@ -5,9 +5,6 @@
 namespace c3d
 {
 
-namespace
-{
-
 /** Split "--key=value"; value empty for bare flags. */
 bool
 splitFlag(const std::string &arg, std::string &key, std::string &value)
@@ -62,7 +59,23 @@ parseMapping(const std::string &s, MappingPolicy &out)
     return false;
 }
 
-} // namespace
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    if (s.empty())
+        return out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
 
 std::string
 cliUsage()

@@ -49,6 +49,24 @@ struct CliOptions
  */
 CliOptions parseCli(const std::vector<std::string> &args);
 
+// ---- reusable flag-parsing helpers (c3d-sweep, bench harness) --------
+
+/** Split "--key=value" into parts; value empty for bare flags. */
+bool splitFlag(const std::string &arg, std::string &key,
+               std::string &value);
+
+/** Parse an unsigned integer (base auto-detected). */
+bool parseU64(const std::string &s, std::uint64_t &out);
+
+/** Split "a,b,c" on commas; empty input yields an empty list. */
+std::vector<std::string> splitList(const std::string &s);
+
+/** Map a design name (designName() spelling) back to the enum. */
+bool parseDesign(const std::string &s, Design &out);
+
+/** Map a mapping-policy name back to the enum. */
+bool parseMapping(const std::string &s, MappingPolicy &out);
+
 /** Convenience overload for main(argc, argv). */
 CliOptions parseCli(int argc, char **argv);
 

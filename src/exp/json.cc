@@ -1,0 +1,397 @@
+#include "exp/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace c3d::exp
+{
+
+const JsonValue *
+JsonValue::member(const std::string &key) const
+{
+    for (const auto &kv : obj) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue j;
+    j.k = Kind::Bool;
+    j.b = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeNumber(double v, std::string token)
+{
+    JsonValue j;
+    j.k = Kind::Number;
+    j.num = v;
+    j.numToken = std::move(token);
+    return j;
+}
+
+std::uint64_t
+JsonValue::u64() const
+{
+    // Plain integer literal: parse losslessly from the source text.
+    if (!numToken.empty() &&
+        numToken.find_first_not_of("0123456789") == std::string::npos) {
+        char *end = nullptr;
+        const std::uint64_t v =
+            std::strtoull(numToken.c_str(), &end, 10);
+        if (end && *end == '\0')
+            return v;
+    }
+    if (num < 0)
+        return 0;
+    if (num >= 18446744073709551616.0) // 2^64
+        return UINT64_MAX;
+    return static_cast<std::uint64_t>(num);
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue j;
+    j.k = Kind::String;
+    j.str = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> v)
+{
+    JsonValue j;
+    j.k = Kind::Array;
+    j.arr = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> v)
+{
+    JsonValue j;
+    j.k = Kind::Object;
+    j.obj = std::move(v);
+    return j;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a byte buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : s(text), err(error)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing characters after value");
+        return true;
+    }
+
+  private:
+    static constexpr int MaxDepth = 64;
+
+    bool
+    fail(const char *msg)
+    {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%s at offset %zu", msg, pos);
+        err = buf;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > MaxDepth)
+            return fail("nesting too deep");
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = JsonValue::makeNull();
+            return true;
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = JsonValue::makeBool(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = JsonValue::makeBool(false);
+            return true;
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out, depth);
+          case '{':
+            return parseObject(out, depth);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(JsonValue &out)
+    {
+        std::string v;
+        if (!parseRawString(v))
+            return false;
+        out = JsonValue::makeString(std::move(v));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &v)
+    {
+        ++pos; // opening quote
+        while (true) {
+            if (pos >= s.size())
+                return fail("unterminated string");
+            const char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return fail("unterminated escape");
+                switch (s[pos]) {
+                  case '"': v += '"'; break;
+                  case '\\': v += '\\'; break;
+                  case '/': v += '/'; break;
+                  case 'b': v += '\b'; break;
+                  case 'f': v += '\f'; break;
+                  case 'n': v += '\n'; break;
+                  case 'r': v += '\r'; break;
+                  case 't': v += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 >= s.size())
+                        return fail("short \\u escape");
+                    unsigned code = 0;
+                    for (int i = 1; i <= 4; ++i) {
+                        const char h = s[pos + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                    // UTF-8 encode the BMP code point (surrogate
+                    // pairs are passed through as-is; the sweep
+                    // schema never emits them).
+                    if (code < 0x80) {
+                        v += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        v += static_cast<char>(0xC0 | (code >> 6));
+                        v += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        v += static_cast<char>(0xE0 | (code >> 12));
+                        v += static_cast<char>(0x80 |
+                                               ((code >> 6) & 0x3F));
+                        v += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                ++pos;
+            } else {
+                v += c;
+                ++pos;
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected a value");
+        char *end = nullptr;
+        const std::string tok = s.substr(start, pos - start);
+        const double v = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("malformed number");
+        out = JsonValue::makeNumber(v, tok);
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        ++pos; // '['
+        std::vector<JsonValue> items;
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            out = JsonValue::makeArray(std::move(items));
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            skipWs();
+            if (!parseValue(item, depth + 1))
+                return false;
+            items.push_back(std::move(item));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                out = JsonValue::makeArray(std::move(items));
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        ++pos; // '{'
+        std::vector<std::pair<std::string, JsonValue>> members;
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            out = JsonValue::makeObject(std::move(members));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            skipWs();
+            JsonValue val;
+            if (!parseValue(val, depth + 1))
+                return false;
+            members.emplace_back(std::move(key), std::move(val));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                out = JsonValue::makeObject(std::move(members));
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &s;
+    std::string &err;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    Parser p(text, error);
+    return p.parse(out);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xFF);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace c3d::exp

@@ -1,0 +1,422 @@
+#include "exp/result_table.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/json.hh"
+#include "exp/sweep_grid.hh"
+
+namespace c3d::exp
+{
+
+namespace
+{
+
+/** Serialized columns, in order. Keep in sync with docs/sweeps.md. */
+const char *const StringCols[] = {"workload", "variant", "design",
+                                  "mapping"};
+const char *const IntCols[] = {
+    "sockets",          "cores_per_socket",  "scale",
+    "dram_cache_mb",    "warmup_ops",        "measure_ops",
+    "seed",             "measured_ticks",    "instructions",
+    "mem_reads",        "mem_writes",        "remote_mem_reads",
+    "remote_mem_writes", "dram_cache_hits",  "dram_cache_misses",
+    "llc_misses",       "inter_socket_bytes", "broadcasts",
+    "broadcasts_elided"};
+
+std::string *
+stringField(ResultRow &r, std::size_t i)
+{
+    std::string *fields[] = {&r.workload, &r.variant, &r.design,
+                             &r.mapping};
+    return fields[i];
+}
+
+const std::string *
+stringField(const ResultRow &r, std::size_t i)
+{
+    return stringField(const_cast<ResultRow &>(r), i);
+}
+
+std::uint64_t
+intFieldValue(const ResultRow &r, std::size_t i)
+{
+    const std::uint64_t values[] = {
+        r.sockets,
+        r.coresPerSocket,
+        r.scale,
+        r.dramCacheMb,
+        r.warmupOps,
+        r.measureOps,
+        r.seed,
+        r.metrics.measuredTicks,
+        r.metrics.instructions,
+        r.metrics.memReads,
+        r.metrics.memWrites,
+        r.metrics.remoteMemReads,
+        r.metrics.remoteMemWrites,
+        r.metrics.dramCacheHits,
+        r.metrics.dramCacheMisses,
+        r.metrics.llcMisses,
+        r.metrics.interSocketBytes,
+        r.metrics.broadcasts,
+        r.metrics.broadcastsElided};
+    return values[i];
+}
+
+void
+setIntField(ResultRow &r, std::size_t i, std::uint64_t v)
+{
+    switch (i) {
+      case 0: r.sockets = static_cast<std::uint32_t>(v); break;
+      case 1: r.coresPerSocket = static_cast<std::uint32_t>(v); break;
+      case 2: r.scale = static_cast<std::uint32_t>(v); break;
+      case 3: r.dramCacheMb = v; break;
+      case 4: r.warmupOps = v; break;
+      case 5: r.measureOps = v; break;
+      case 6: r.seed = v; break;
+      case 7: r.metrics.measuredTicks = v; break;
+      case 8: r.metrics.instructions = v; break;
+      case 9: r.metrics.memReads = v; break;
+      case 10: r.metrics.memWrites = v; break;
+      case 11: r.metrics.remoteMemReads = v; break;
+      case 12: r.metrics.remoteMemWrites = v; break;
+      case 13: r.metrics.dramCacheHits = v; break;
+      case 14: r.metrics.dramCacheMisses = v; break;
+      case 15: r.metrics.llcMisses = v; break;
+      case 16: r.metrics.interSocketBytes = v; break;
+      case 17: r.metrics.broadcasts = v; break;
+      case 18: r.metrics.broadcastsElided = v; break;
+      default: break;
+    }
+}
+
+constexpr std::size_t NumStringCols =
+    sizeof(StringCols) / sizeof(StringCols[0]);
+constexpr std::size_t NumIntCols =
+    sizeof(IntCols) / sizeof(IntCols[0]);
+
+/** Deterministic formatting for the derived IPC column. */
+std::string
+formatIpc(double ipc)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", ipc);
+    return buf;
+}
+
+/** CSV-quote a field only when it needs it. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Split one CSV line honoring quoted fields. */
+bool
+splitCsvLine(const std::string &line, std::vector<std::string> &out)
+{
+    out.clear();
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += c;
+            }
+        } else if (c == '"' && field.empty()) {
+            quoted = true;
+        } else if (c == ',') {
+            out.push_back(field);
+            field.clear();
+        } else {
+            field += c;
+        }
+    }
+    if (quoted)
+        return false;
+    out.push_back(field);
+    return true;
+}
+
+} // namespace
+
+bool
+ResultRow::sameAs(const ResultRow &o) const
+{
+    for (std::size_t i = 0; i < NumStringCols; ++i) {
+        if (*stringField(*this, i) != *stringField(o, i))
+            return false;
+    }
+    for (std::size_t i = 0; i < NumIntCols; ++i) {
+        if (intFieldValue(*this, i) != intFieldValue(o, i))
+            return false;
+    }
+    return true;
+}
+
+void
+ResultTable::append(const ResultTable &other)
+{
+    for (const ResultRow &r : other.tableRows)
+        tableRows.push_back(r);
+}
+
+const ResultRow *
+ResultTable::find(std::size_t workload_idx, std::size_t variant_idx,
+                  std::size_t design_idx, std::size_t socket_idx,
+                  std::size_t dram_idx, std::size_t mapping_idx) const
+{
+    for (const ResultRow &r : tableRows) {
+        if (workload_idx != SIZE_MAX && r.workloadIdx != workload_idx)
+            continue;
+        if (variant_idx != SIZE_MAX && r.variantIdx != variant_idx)
+            continue;
+        if (design_idx != SIZE_MAX && r.designIdx != design_idx)
+            continue;
+        if (socket_idx != SIZE_MAX && r.socketIdx != socket_idx)
+            continue;
+        if (dram_idx != SIZE_MAX && r.dramIdx != dram_idx)
+            continue;
+        if (mapping_idx != SIZE_MAX && r.mappingIdx != mapping_idx)
+            continue;
+        return &r;
+    }
+    return nullptr;
+}
+
+bool
+ResultTable::sameRows(const ResultTable &other) const
+{
+    if (tableRows.size() != other.tableRows.size())
+        return false;
+    for (std::size_t i = 0; i < tableRows.size(); ++i) {
+        if (!tableRows[i].sameAs(other.tableRows[i]))
+            return false;
+    }
+    return true;
+}
+
+const char *
+ResultTable::schemaName()
+{
+    return "c3d-sweep/v1";
+}
+
+std::string
+ResultTable::toJson() const
+{
+    std::string out;
+    out += "{\n  \"schema\": \"";
+    out += schemaName();
+    out += "\",\n  \"rows\": [";
+    for (std::size_t i = 0; i < tableRows.size(); ++i) {
+        const ResultRow &r = tableRows[i];
+        out += i ? ",\n    {" : "\n    {";
+        for (std::size_t c = 0; c < NumStringCols; ++c) {
+            out += c ? ", \"" : "\"";
+            out += StringCols[c];
+            out += "\": \"";
+            out += jsonEscape(*stringField(r, c));
+            out += "\"";
+        }
+        for (std::size_t c = 0; c < NumIntCols; ++c) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), ", \"%s\": %" PRIu64,
+                          IntCols[c], intFieldValue(r, c));
+            out += buf;
+        }
+        out += ", \"ipc\": " + formatIpc(r.metrics.ipc());
+        out += "}";
+    }
+    out += tableRows.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+std::string
+ResultTable::toCsv() const
+{
+    std::string out;
+    for (std::size_t c = 0; c < NumStringCols; ++c) {
+        if (c)
+            out += ',';
+        out += StringCols[c];
+    }
+    for (std::size_t c = 0; c < NumIntCols; ++c) {
+        out += ',';
+        out += IntCols[c];
+    }
+    out += ",ipc\n";
+    for (const ResultRow &r : tableRows) {
+        for (std::size_t c = 0; c < NumStringCols; ++c) {
+            if (c)
+                out += ',';
+            out += csvField(*stringField(r, c));
+        }
+        for (std::size_t c = 0; c < NumIntCols; ++c) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), ",%" PRIu64,
+                          intFieldValue(r, c));
+            out += buf;
+        }
+        out += ',' + formatIpc(r.metrics.ipc()) + '\n';
+    }
+    return out;
+}
+
+bool
+ResultTable::fromJson(const std::string &text, ResultTable &out,
+                      std::string &error)
+{
+    JsonValue root;
+    if (!parseJson(text, root, error))
+        return false;
+    if (!root.isObject()) {
+        error = "top-level value is not an object";
+        return false;
+    }
+    const JsonValue *schema = root.member("schema");
+    if (!schema || !schema->isString() ||
+        schema->string() != schemaName()) {
+        error = "missing or unexpected schema";
+        return false;
+    }
+    const JsonValue *rows = root.member("rows");
+    if (!rows || !rows->isArray()) {
+        error = "missing rows array";
+        return false;
+    }
+    ResultTable table;
+    for (const JsonValue &rv : rows->array()) {
+        if (!rv.isObject()) {
+            error = "row is not an object";
+            return false;
+        }
+        ResultRow row;
+        for (std::size_t c = 0; c < NumStringCols; ++c) {
+            const JsonValue *v = rv.member(StringCols[c]);
+            if (!v || !v->isString()) {
+                error = std::string("row missing string field '") +
+                    StringCols[c] + "'";
+                return false;
+            }
+            *stringField(row, c) = v->string();
+        }
+        for (std::size_t c = 0; c < NumIntCols; ++c) {
+            const JsonValue *v = rv.member(IntCols[c]);
+            if (!v || !v->isNumber()) {
+                error = std::string("row missing numeric field '") +
+                    IntCols[c] + "'";
+                return false;
+            }
+            setIntField(row, c, v->u64());
+        }
+        table.add(std::move(row));
+    }
+    out = std::move(table);
+    return true;
+}
+
+bool
+ResultTable::fromCsv(const std::string &text, ResultTable &out,
+                     std::string &error)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    if (lines.empty()) {
+        error = "empty csv";
+        return false;
+    }
+
+    std::vector<std::string> header;
+    if (!splitCsvLine(lines[0], header)) {
+        error = "malformed csv header";
+        return false;
+    }
+    const std::size_t expected_cols = NumStringCols + NumIntCols + 1;
+    if (header.size() != expected_cols) {
+        error = "unexpected csv column count";
+        return false;
+    }
+    for (std::size_t c = 0; c < NumStringCols; ++c) {
+        if (header[c] != StringCols[c]) {
+            error = "unexpected csv header '" + header[c] + "'";
+            return false;
+        }
+    }
+    for (std::size_t c = 0; c < NumIntCols; ++c) {
+        if (header[NumStringCols + c] != IntCols[c]) {
+            error = "unexpected csv header '" +
+                header[NumStringCols + c] + "'";
+            return false;
+        }
+    }
+
+    ResultTable table;
+    for (std::size_t l = 1; l < lines.size(); ++l) {
+        if (lines[l].empty())
+            continue;
+        std::vector<std::string> fields;
+        if (!splitCsvLine(lines[l], fields) ||
+            fields.size() != expected_cols) {
+            error = "malformed csv row " + std::to_string(l);
+            return false;
+        }
+        ResultRow row;
+        for (std::size_t c = 0; c < NumStringCols; ++c)
+            *stringField(row, c) = fields[c];
+        for (std::size_t c = 0; c < NumIntCols; ++c) {
+            const std::string &field = fields[NumStringCols + c];
+            // strtoull alone accepts "" (returns 0) and "-5" (wraps);
+            // require a plain non-empty digit string.
+            if (field.empty() ||
+                field.find_first_not_of("0123456789") !=
+                    std::string::npos) {
+                error = "bad integer in csv row " + std::to_string(l);
+                return false;
+            }
+            char *end = nullptr;
+            const std::uint64_t v =
+                std::strtoull(field.c_str(), &end, 10);
+            if (!end || *end != '\0') {
+                error = "bad integer in csv row " + std::to_string(l);
+                return false;
+            }
+            setIntField(row, c, v);
+        }
+        table.add(std::move(row));
+    }
+    out = std::move(table);
+    return true;
+}
+
+} // namespace c3d::exp

@@ -1,0 +1,105 @@
+#include "exp/sweep_engine.hh"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace c3d::exp
+{
+
+SweepEngine::SweepEngine(unsigned jobs) : workerCount(jobs)
+{
+    if (workerCount == 0) {
+        workerCount = std::thread::hardware_concurrency();
+        if (workerCount == 0)
+            workerCount = 1;
+    }
+}
+
+RunResult
+SweepEngine::simulateSpec(const RunSpec &spec)
+{
+    return runWorkload(spec.cfg, spec.profile.scaled(spec.scale),
+                       spec.warmupOps, spec.measureOps);
+}
+
+ResultRow
+SweepEngine::makeRow(const RunSpec &spec, const RunResult &metrics)
+{
+    ResultRow row;
+    row.workload = spec.profile.name;
+    row.variant = spec.variantName;
+    row.design = designName(spec.cfg.design);
+    row.mapping = mappingPolicyName(spec.cfg.mapping);
+    row.sockets = spec.cfg.numSockets;
+    row.coresPerSocket = spec.cfg.coresPerSocket;
+    row.scale = spec.scale;
+    row.dramCacheMb = spec.dramCacheMb;
+    row.warmupOps = spec.warmupOps;
+    row.measureOps = spec.measureOps;
+    row.seed = spec.profile.seed;
+    row.workloadIdx = spec.workloadIdx;
+    row.variantIdx = spec.variantIdx;
+    row.designIdx = spec.designIdx;
+    row.socketIdx = spec.socketIdx;
+    row.dramIdx = spec.dramIdx;
+    row.mappingIdx = spec.mappingIdx;
+    row.metrics = metrics;
+    return row;
+}
+
+ResultTable
+SweepEngine::run(const SweepGrid &grid) const
+{
+    return run(grid, &SweepEngine::simulateSpec);
+}
+
+ResultTable
+SweepEngine::run(const SweepGrid &grid, const RunFn &fn) const
+{
+    const std::vector<RunSpec> specs = grid.expand();
+    std::vector<ResultRow> rows(specs.size());
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            const RunResult metrics = fn(specs[i]);
+            rows[i] = makeRow(specs[i], metrics);
+            const std::size_t finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(specs[i], finished, specs.size());
+            }
+        }
+    };
+
+    const unsigned pool = static_cast<unsigned>(
+        std::min<std::size_t>(workerCount, specs.size()));
+    if (pool <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (unsigned t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    ResultTable table;
+    for (ResultRow &row : rows)
+        table.add(std::move(row));
+    return table;
+}
+
+} // namespace c3d::exp

@@ -1,0 +1,97 @@
+#include "exp/sweep_grid.hh"
+
+namespace c3d::exp
+{
+
+std::uint64_t
+autoWarmupOps(const WorkloadProfile &unscaled, std::uint64_t base)
+{
+    return unscaled.fracStream > 0.5 ? 45000 : base;
+}
+
+std::uint32_t
+paperCoresPerSocket(std::uint32_t sockets)
+{
+    return sockets == 2 ? 16 : 8;
+}
+
+SweepGrid
+quickPreset(SweepGrid grid)
+{
+    grid.scale = 256;
+    grid.coresPerSocket = 2;
+    grid.warmupOps = 500;
+    grid.measureOps = 2000;
+    return grid;
+}
+
+std::size_t
+SweepGrid::size() const
+{
+    const std::size_t variant_count =
+        variants.empty() ? 1 : variants.size();
+    return workloads.size() * variant_count * designs.size() *
+        sockets.size() * dramCacheMb.size() * mappings.size();
+}
+
+std::vector<RunSpec>
+SweepGrid::expand() const
+{
+    static const std::vector<ConfigVariant> identity{{"", nullptr}};
+    const std::vector<ConfigVariant> &vars =
+        variants.empty() ? identity : variants;
+
+    std::vector<RunSpec> specs;
+    specs.reserve(size());
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        WorkloadProfile profile = workloads[w];
+        if (seed)
+            profile.seed = seed;
+        for (std::size_t v = 0; v < vars.size(); ++v) {
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                for (std::size_t s = 0; s < sockets.size(); ++s) {
+                    for (std::size_t m = 0; m < dramCacheMb.size();
+                         ++m) {
+                        for (std::size_t p = 0; p < mappings.size();
+                             ++p) {
+                            RunSpec spec;
+                            spec.index = specs.size();
+                            spec.workloadIdx = w;
+                            spec.variantIdx = v;
+                            spec.designIdx = d;
+                            spec.socketIdx = s;
+                            spec.dramIdx = m;
+                            spec.mappingIdx = p;
+                            spec.profile = profile;
+                            spec.variantName = vars[v].name;
+                            spec.scale = scale;
+                            spec.dramCacheMb = dramCacheMb[m];
+                            spec.measureOps = measureOps;
+                            spec.warmupOps = warmupOps
+                                ? warmupOps : autoWarmupOps(profile);
+
+                            SystemConfig raw;
+                            raw.numSockets = sockets[s];
+                            raw.coresPerSocket = coresPerSocket
+                                ? coresPerSocket
+                                : paperCoresPerSocket(sockets[s]);
+                            raw.design = designs[d];
+                            raw.mapping = mappings[p];
+                            if (dramCacheMb[m])
+                                raw.dramCacheBytes =
+                                    dramCacheMb[m] << 20;
+                            if (vars[v].patch)
+                                vars[v].patch(raw);
+                            spec.cfg = raw.scaled(scale);
+                            specs.push_back(std::move(spec));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return specs;
+}
+
+} // namespace c3d::exp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * bench-smoke: run a benchmark binary and assert that its stdout is
+ * non-empty, well-formed JSON.
+ *
+ * Usage:  bench-smoke <mode> <binary> [args...]
+ *
+ * Modes:
+ *   table  stdout must parse as the c3d-sweep/v1 result schema and
+ *          contain at least one row (sweep-engine benches).
+ *   json   stdout must parse as any non-empty JSON value (benches
+ *          with their own schema: google-benchmark, analytic tables).
+ *
+ * Exit status 0 on success; 1 with a diagnostic on any failure. The
+ * CTest smoke suite registers one invocation per bench binary.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/json.hh"
+#include "exp/result_table.hh"
+
+namespace
+{
+
+/** Shell-quote one argument (single quotes, POSIX). */
+std::string
+shellQuote(const std::string &arg)
+{
+    std::string out = "'";
+    for (const char c : arg) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += '\'';
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: bench-smoke <table|json> <binary> "
+                     "[args...]\n");
+        return 2;
+    }
+    const std::string mode = argv[1];
+    if (mode != "table" && mode != "json") {
+        std::fprintf(stderr, "bench-smoke: unknown mode '%s'\n",
+                     mode.c_str());
+        return 2;
+    }
+
+    std::string command;
+    for (int i = 2; i < argc; ++i) {
+        if (i > 2)
+            command += ' ';
+        command += shellQuote(argv[i]);
+    }
+
+    FILE *pipe = popen(command.c_str(), "r");
+    if (!pipe) {
+        std::fprintf(stderr, "bench-smoke: cannot run: %s\n",
+                     command.c_str());
+        return 1;
+    }
+    std::string output;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        output.append(buf, n);
+    const int status = pclose(pipe);
+    if (status != 0) {
+        std::fprintf(stderr,
+                     "bench-smoke: command exited with status %d: "
+                     "%s\n",
+                     status, command.c_str());
+        return 1;
+    }
+    if (output.empty()) {
+        std::fprintf(stderr, "bench-smoke: empty output from: %s\n",
+                     command.c_str());
+        return 1;
+    }
+
+    std::string error;
+    if (mode == "table") {
+        c3d::exp::ResultTable table;
+        if (!c3d::exp::ResultTable::fromJson(output, table, error)) {
+            std::fprintf(stderr,
+                         "bench-smoke: output is not a valid sweep "
+                         "table: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        if (table.empty()) {
+            std::fprintf(stderr,
+                         "bench-smoke: sweep table has no rows\n");
+            return 1;
+        }
+        std::printf("ok: %zu result rows\n", table.size());
+    } else {
+        c3d::exp::JsonValue value;
+        if (!c3d::exp::parseJson(output, value, error)) {
+            std::fprintf(stderr,
+                         "bench-smoke: output is not valid JSON: "
+                         "%s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::printf("ok: valid JSON (%zu bytes)\n", output.size());
+    }
+    return 0;
+}

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * c3d-sweep: declarative parameter-sweep CLI over the experiment
+ * engine.
+ *
+ * Expands a grid of protocol x sockets x DRAM-cache capacity x
+ * mapping x workload points, executes the runs on a worker pool, and
+ * emits the result table as JSON (default), CSV, or a human table.
+ * Rows are ordered by grid expansion, never by completion, so output
+ * is byte-identical for any --jobs value.
+ *
+ * Examples:
+ *   c3d-sweep --designs=baseline,c3d --workloads=facesim,canneal
+ *   c3d-sweep --workloads=all --sockets=2,4 --jobs=8 --format=csv
+ *   c3d-sweep --designs=c3d --dram-cache-mb=256,512,1024 --out=r.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "exp/sweep_engine.hh"
+
+namespace
+{
+
+using namespace c3d;
+
+const char *const Usage =
+    "c3d-sweep: run a declarative design-space sweep\n"
+    "\n"
+    "grid axes (comma-separated lists):\n"
+    "  --designs=A,B          baseline|snoopy|full-dir|c3d|"
+    "c3d-full-dir (default c3d)\n"
+    "  --workloads=A,B|all    paper profile names (default facesim);\n"
+    "                         'all' = the nine parallel profiles\n"
+    "  --sockets=N,M          socket counts (default 4)\n"
+    "  --dram-cache-mb=N,M    unscaled DRAM-cache MB; 0 = default 1 GB\n"
+    "  --mappings=P,Q         INT|FT1|FT2 (default FT2)\n"
+    "\n"
+    "run parameters:\n"
+    "  --cores-per-socket=N   0 = paper rule: 16 on 2-socket, else 8\n"
+    "  --scale=N              capacity/footprint shrink (default 32)\n"
+    "  --warmup=N             refs/core before the window (0 = auto)\n"
+    "  --measure=N            refs/core measured (default 25000)\n"
+    "  --seed=N               override every profile's RNG seed\n"
+    "  --quick                tiny grid preset for smoke runs\n"
+    "\n"
+    "execution and output:\n"
+    "  --jobs=N               worker threads (default 1; 0 = all cores)\n"
+    "  --format=json|csv|table   (default json)\n"
+    "  --out=FILE             write to FILE instead of stdout\n"
+    "  --progress             report per-run progress on stderr\n"
+    "  --help\n";
+
+struct SweepCli
+{
+    exp::SweepGrid grid;
+    unsigned jobs = 1;
+    std::string format = "json";
+    std::string outFile;
+    bool progress = false;
+    bool quick = false;
+    bool showHelp = false;
+    std::string error;
+};
+
+bool
+parseWorkloads(const std::string &value,
+               std::vector<WorkloadProfile> &out, std::string &error)
+{
+    out.clear();
+    for (const std::string &name : splitList(value)) {
+        if (name == "all") {
+            for (const WorkloadProfile &p : parallelProfiles())
+                out.push_back(p);
+        } else if (name == "mcf") {
+            out.push_back(mcfProfile());
+        } else {
+            bool known = false;
+            for (const WorkloadProfile &p : parallelProfiles()) {
+                if (p.name == name) {
+                    out.push_back(p);
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                error = "unknown workload '" + name + "'";
+                return false;
+            }
+        }
+    }
+    if (out.empty()) {
+        error = "empty workload list";
+        return false;
+    }
+    return true;
+}
+
+SweepCli
+parseSweepCli(int argc, char **argv)
+{
+    SweepCli cli;
+    cli.grid.workloads = {profileByName("facesim")};
+
+    for (int i = 1; i < argc; ++i) {
+        std::string key, value;
+        if (!splitFlag(argv[i], key, value)) {
+            cli.error = std::string("unexpected argument '") +
+                argv[i] + "'";
+            return cli;
+        }
+        std::uint64_t n = 0;
+        if (key == "help") {
+            cli.showHelp = true;
+        } else if (key == "designs") {
+            cli.grid.designs.clear();
+            for (const std::string &name : splitList(value)) {
+                Design d;
+                if (!parseDesign(name, d)) {
+                    cli.error = "unknown design '" + name + "'";
+                    return cli;
+                }
+                cli.grid.designs.push_back(d);
+            }
+            if (cli.grid.designs.empty()) {
+                cli.error = "empty design list";
+                return cli;
+            }
+        } else if (key == "workloads") {
+            if (!parseWorkloads(value, cli.grid.workloads, cli.error))
+                return cli;
+        } else if (key == "sockets") {
+            cli.grid.sockets.clear();
+            for (const std::string &item : splitList(value)) {
+                if (!parseU64(item, n) || n < 1 || n > 8) {
+                    cli.error = "bad socket count '" + item + "'";
+                    return cli;
+                }
+                cli.grid.sockets.push_back(
+                    static_cast<std::uint32_t>(n));
+            }
+        } else if (key == "dram-cache-mb") {
+            cli.grid.dramCacheMb.clear();
+            for (const std::string &item : splitList(value)) {
+                if (!parseU64(item, n)) {
+                    cli.error = "bad dram-cache-mb '" + item + "'";
+                    return cli;
+                }
+                cli.grid.dramCacheMb.push_back(n);
+            }
+        } else if (key == "mappings") {
+            cli.grid.mappings.clear();
+            for (const std::string &item : splitList(value)) {
+                MappingPolicy p;
+                if (!parseMapping(item, p)) {
+                    cli.error = "unknown mapping '" + item + "'";
+                    return cli;
+                }
+                cli.grid.mappings.push_back(p);
+            }
+        } else if (key == "cores-per-socket") {
+            if (!parseU64(value, n) || n > 64) {
+                cli.error = "bad cores-per-socket";
+                return cli;
+            }
+            cli.grid.coresPerSocket = static_cast<std::uint32_t>(n);
+        } else if (key == "scale") {
+            if (!parseU64(value, n) || n < 1) {
+                cli.error = "bad scale";
+                return cli;
+            }
+            cli.grid.scale = static_cast<std::uint32_t>(n);
+        } else if (key == "warmup") {
+            if (!parseU64(value, cli.grid.warmupOps)) {
+                cli.error = "bad warmup";
+                return cli;
+            }
+        } else if (key == "measure") {
+            if (!parseU64(value, cli.grid.measureOps) ||
+                cli.grid.measureOps == 0) {
+                cli.error = "bad measure";
+                return cli;
+            }
+        } else if (key == "seed") {
+            if (!parseU64(value, cli.grid.seed)) {
+                cli.error = "bad seed";
+                return cli;
+            }
+        } else if (key == "jobs") {
+            if (!parseU64(value, n) || n > 256) {
+                cli.error = "bad jobs";
+                return cli;
+            }
+            cli.jobs = static_cast<unsigned>(n);
+        } else if (key == "format") {
+            if (value != "json" && value != "csv" &&
+                value != "table") {
+                cli.error = "unknown format '" + value + "'";
+                return cli;
+            }
+            cli.format = value;
+        } else if (key == "out") {
+            cli.outFile = value;
+        } else if (key == "progress") {
+            cli.progress = true;
+        } else if (key == "quick") {
+            cli.quick = true;
+        } else {
+            cli.error = "unknown flag '--" + key + "'";
+            return cli;
+        }
+    }
+
+    if (cli.grid.sockets.empty()) {
+        cli.error = "empty socket list";
+        return cli;
+    }
+    if (cli.grid.dramCacheMb.empty()) {
+        cli.error = "empty dram-cache-mb list";
+        return cli;
+    }
+    if (cli.grid.mappings.empty()) {
+        cli.error = "empty mapping list";
+        return cli;
+    }
+    if (cli.quick)
+        cli.grid = exp::quickPreset(std::move(cli.grid));
+    return cli;
+}
+
+void
+printHumanTable(const exp::ResultTable &table)
+{
+    std::printf("%-16s %-14s %-13s %-4s %3s %8s %10s %8s %8s\n",
+                "workload", "variant", "design", "map", "skt",
+                "dcache", "ticks", "ipc", "remote%");
+    for (const exp::ResultRow &r : table.rows()) {
+        const double remote_pct = r.metrics.memAccesses()
+            ? 100.0 *
+                static_cast<double>(r.metrics.remoteMemAccesses()) /
+                static_cast<double>(r.metrics.memAccesses())
+            : 0.0;
+        std::printf("%-16s %-14s %-13s %-4s %3u %7lluM %10llu %8.3f "
+                    "%7.1f%%\n",
+                    r.workload.c_str(), r.variant.c_str(),
+                    r.design.c_str(), r.mapping.c_str(), r.sockets,
+                    static_cast<unsigned long long>(r.dramCacheMb),
+                    static_cast<unsigned long long>(
+                        r.metrics.measuredTicks),
+                    r.metrics.ipc(), remote_pct);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SweepCli cli = parseSweepCli(argc, argv);
+    if (cli.showHelp) {
+        std::fputs(Usage, stdout);
+        return 0;
+    }
+    if (!cli.error.empty()) {
+        std::fprintf(stderr, "c3d-sweep: %s\n%s", cli.error.c_str(),
+                     Usage);
+        return 2;
+    }
+    if (cli.format == "table" && !cli.outFile.empty()) {
+        std::fprintf(stderr,
+                     "c3d-sweep: --format=table writes to stdout "
+                     "only\n");
+        return 2;
+    }
+
+    setQuiet(true);
+    exp::SweepEngine engine(cli.jobs);
+    if (cli.progress) {
+        engine.setProgress([](const exp::RunSpec &spec,
+                              std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "[%zu/%zu] %s %s\n", done, total,
+                         spec.profile.name.c_str(),
+                         designName(spec.cfg.design));
+        });
+    }
+
+    const exp::ResultTable table = engine.run(cli.grid);
+
+    std::string payload;
+    if (cli.format == "json")
+        payload = table.toJson();
+    else if (cli.format == "csv")
+        payload = table.toCsv();
+
+    if (!cli.outFile.empty()) {
+        std::ofstream out(cli.outFile, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "c3d-sweep: cannot write '%s'\n",
+                         cli.outFile.c_str());
+            return 1;
+        }
+        out << payload;
+        return 0;
+    }
+
+    if (cli.format == "table")
+        printHumanTable(table);
+    else
+        std::fputs(payload.c_str(), stdout);
+    return 0;
+}
