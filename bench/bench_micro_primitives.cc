@@ -33,6 +33,43 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleRun);
 
 void
+BM_EventQueueSameTickBurst(benchmark::State &state)
+{
+    // Barrier-style bursts: many events land on one tick and must
+    // drain in FIFO order. Exercises single-bucket append/drain.
+    c3d::EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(3, [&sink] { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueSameTickBurst);
+
+void
+BM_EventQueueFarFuture(benchmark::State &state)
+{
+    // Delays beyond the wheel span land in the overflow heap and
+    // migrate into the wheel as the base advances -- the pattern a
+    // congested memory channel produces with far-future ready times.
+    c3d::EventQueue eq;
+    std::uint64_t sink = 0;
+    const c3d::Tick far = 4 * c3d::EventQueue::WheelSpan;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(far + static_cast<c3d::Tick>(i & 63),
+                        [&sink] { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueFarFuture);
+
+void
 BM_TagArrayLookup(benchmark::State &state)
 {
     c3d::TagArray tags;
@@ -62,6 +99,29 @@ BM_TagArrayAllocate(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TagArrayAllocate);
+
+void
+BM_TagArrayAllocateEvict(benchmark::State &state)
+{
+    // Every allocation displaces a valid LRU victim: the array is
+    // pre-filled and the address stream never reuses a block, so this
+    // isolates the fused find+victim scan plus eviction bookkeeping.
+    c3d::TagArray tags;
+    tags.init(1 << 18, 8);
+    c3d::Addr next = 0;
+    const std::uint64_t blocks = tags.capacityBlocks();
+    for (std::uint64_t i = 0; i < blocks; ++i)
+        tags.allocate((next++) * c3d::BlockBytes,
+                      c3d::CacheState::Shared);
+    std::uint64_t evictions = 0;
+    for (auto _ : state) {
+        evictions += tags.allocate((next++) * c3d::BlockBytes,
+                                   c3d::CacheState::Shared).evictedValid;
+    }
+    benchmark::DoNotOptimize(evictions);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagArrayAllocateEvict);
 
 void
 BM_MissPredictor(benchmark::State &state)

@@ -58,6 +58,14 @@ class TagArray
 
     /**
      * Size the array.
+     *
+     * The requested geometry is kept exactly (capacity is never
+     * silently rounded). When the set count is a power of two --
+     * every standard configuration: Table II sizes and their
+     * power-of-two sweep scalings -- set selection takes a mask fast
+     * path; odd geometries (e.g. `--scale=48`) keep the exact modulo
+     * mapping.
+     *
      * @param capacity_bytes total data capacity
      * @param ways associativity (1 == direct-mapped)
      */
@@ -70,6 +78,8 @@ class TagArray
             blocks = ways;
         sets = blocks / ways;
         c3d_assert(sets >= 1, "cache too small");
+        setsArePow2 = (sets & (sets - 1)) == 0;
+        setMask = setsArePow2 ? sets - 1 : 0;
         numWays = ways;
         entries.assign(sets * ways, TagEntry{});
         useStamp = 0;
@@ -87,18 +97,16 @@ class TagArray
     find(Addr addr)
     {
         const Addr blk = blockNumber(addr);
-        TagEntry *set = setBase(blk);
-        for (std::uint32_t w = 0; w < numWays; ++w) {
-            if (set[w].valid() && set[w].tag == blk)
-                return &set[w];
-        }
-        return nullptr;
+        const std::int32_t w = wayOf(blk);
+        return w < 0 ? nullptr : &entries[setIndex(blk) + w];
     }
 
     const TagEntry *
     find(Addr addr) const
     {
-        return const_cast<TagArray *>(this)->find(addr);
+        const Addr blk = blockNumber(addr);
+        const std::int32_t w = wayOf(blk);
+        return w < 0 ? nullptr : &entries[setIndex(blk) + w];
     }
 
     /** Mark @p entry most-recently used. */
@@ -119,31 +127,34 @@ class TagArray
     {
         AllocResult res;
         const Addr blk = blockNumber(addr);
-        TagEntry *set = setBase(blk);
+        TagEntry *set = &entries[setIndex(blk)];
 
-        // Already present?
-        if (TagEntry *hit = find(addr)) {
-            hit->state = state;
-            touch(hit);
-            res.entry = hit;
-            return res;
-        }
-
-        // Prefer an invalid way.
-        TagEntry *victim = nullptr;
+        // One pass finds the hit, the first invalid way, and the
+        // true-LRU victim: hit wins, then invalid, then LRU. Ties on
+        // lastUse keep the lowest way, matching the two-pass scan
+        // this replaces.
+        TagEntry *invalid = nullptr;
+        TagEntry *lru = nullptr;
         for (std::uint32_t w = 0; w < numWays; ++w) {
-            if (!set[w].valid()) {
-                victim = &set[w];
-                break;
+            TagEntry &e = set[w];
+            if (!e.valid()) {
+                if (!invalid)
+                    invalid = &e;
+                continue;
             }
+            if (e.tag == blk) {
+                e.state = state;
+                touch(&e);
+                res.entry = &e;
+                return res;
+            }
+            if (!lru || e.lastUse < lru->lastUse)
+                lru = &e;
         }
-        // Otherwise evict true-LRU.
+
+        TagEntry *victim = invalid;
         if (!victim) {
-            victim = &set[0];
-            for (std::uint32_t w = 1; w < numWays; ++w) {
-                if (set[w].lastUse < victim->lastUse)
-                    victim = &set[w];
-            }
+            victim = lru;
             res.evictedValid = true;
             res.victimAddr = victim->tag << BlockShift;
             res.victimState = victim->state;
@@ -193,13 +204,30 @@ class TagArray
     }
 
   private:
-    TagEntry *
-    setBase(Addr blk)
+    /** First-entry index of @p blk's set. */
+    std::size_t
+    setIndex(Addr blk) const
     {
-        return &entries[(blk % sets) * numWays];
+        const std::uint64_t set =
+            setsArePow2 ? (blk & setMask) : (blk % sets);
+        return static_cast<std::size_t>(set * numWays);
+    }
+
+    /** Way holding @p blk within its set, or -1 on miss. */
+    std::int32_t
+    wayOf(Addr blk) const
+    {
+        const TagEntry *set = &entries[setIndex(blk)];
+        for (std::uint32_t w = 0; w < numWays; ++w) {
+            if (set[w].valid() && set[w].tag == blk)
+                return static_cast<std::int32_t>(w);
+        }
+        return -1;
     }
 
     std::uint64_t sets = 0;
+    std::uint64_t setMask = 0;
+    bool setsArePow2 = false;
     std::uint32_t numWays = 0;
     std::uint64_t useStamp = 0;
     std::vector<TagEntry> entries;

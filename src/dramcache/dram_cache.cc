@@ -83,10 +83,10 @@ DramCache::probe(Addr addr, std::function<void(DramCacheProbe)> done,
     const Tick ready = chargeChannel(addr, access_start + accessLatency);
 
     DramCacheProbe res;
-    const TagEntry *e = tags.find(addr);
+    TagEntry *e = tags.find(addr);
     if (e) {
         ++hits;
-        tags.touch(const_cast<TagEntry *>(e));
+        tags.touch(e);
         res.present = true;
         res.dirty = e->state == CacheState::Modified;
     } else {

@@ -41,7 +41,7 @@ MemoryController::channelFor(Addr addr)
 
 void
 MemoryController::read(Addr addr, bool remote,
-                       std::function<void()> done)
+                       EventQueue::Callback done)
 {
     ++readCount;
     if (remote)

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Move-only callable with fixed-size inline storage.
+ *
+ * The event queue schedules millions of continuations per sweep row;
+ * wrapping each one in a std::function costs a heap allocation the
+ * moment the capture outgrows the library's small-object buffer
+ * (16 bytes on libstdc++). InlineFunction raises that budget to
+ * InlineBytes so every continuation the simulator actually schedules
+ * (socket, CPU, memory-controller and interconnect hops) is stored
+ * in-place inside the event itself.
+ *
+ * Callables larger than InlineBytes (or over-aligned, or with a
+ * throwing move) still work -- they fall back to a single heap
+ * allocation, flagged via onHeap() so benchmarks and tests can assert
+ * that the hot paths never pay for one.
+ */
+
+#ifndef C3DSIM_SIM_INLINE_FUNCTION_HH
+#define C3DSIM_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace c3d
+{
+
+/** Move-only `void()` callable with inline small-buffer storage. */
+class InlineFunction
+{
+  public:
+    /**
+     * Inline capture budget, in bytes. Sized for the largest capture
+     * the simulator schedules: a `this` pointer, a block address, a
+     * handful of scalars, and one nested std::function continuation
+     * (32 bytes on libstdc++). See docs/perf.md before growing a
+     * capture past this.
+     */
+    static constexpr std::size_t InlineBytes = 64;
+    static constexpr std::size_t InlineAlign = 16;
+
+    InlineFunction() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineFunction(F &&f) // NOLINT: implicit by design
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= InlineBytes &&
+                      alignof(Fn) <= InlineAlign &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(storage)) Fn(std::forward<F>(f));
+            ops = &InlineModel<Fn>::ops;
+        } else {
+            ::new (static_cast<void *>(storage))
+                (Fn *)(new Fn(std::forward<F>(f)));
+            ops = &HeapModel<Fn>::ops;
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept : ops(other.ops)
+    {
+        if (ops)
+            ops->relocate(storage, other.storage);
+        other.ops = nullptr;
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this == &other)
+            return *this;
+        if (ops)
+            ops->destroy(storage);
+        ops = other.ops;
+        if (ops)
+            ops->relocate(storage, other.storage);
+        other.ops = nullptr;
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction()
+    {
+        if (ops)
+            ops->destroy(storage);
+    }
+
+    void
+    operator()()
+    {
+        c3d_assert(ops, "invoking an empty InlineFunction");
+        ops->invoke(storage);
+    }
+
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    /** True when the callable spilled to a heap allocation. */
+    bool onHeap() const noexcept { return ops && ops->heap; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool heap;
+    };
+
+    template <typename Fn>
+    struct InlineModel
+    {
+        static Fn *at(void *s) { return std::launder(
+            reinterpret_cast<Fn *>(s)); }
+        static void invoke(void *s) { (*at(s))(); }
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            ::new (dst) Fn(std::move(*at(src)));
+            at(src)->~Fn();
+        }
+        static void destroy(void *s) noexcept { at(s)->~Fn(); }
+        static constexpr Ops ops{&invoke, &relocate, &destroy, false};
+    };
+
+    template <typename Fn>
+    struct HeapModel
+    {
+        static Fn *&at(void *s) { return *std::launder(
+            reinterpret_cast<Fn **>(s)); }
+        static void invoke(void *s) { (*at(s))(); }
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            ::new (dst) (Fn *)(at(src));
+        }
+        static void destroy(void *s) noexcept { delete at(s); }
+        static constexpr Ops ops{&invoke, &relocate, &destroy, true};
+    };
+
+    const Ops *ops = nullptr;
+    alignas(InlineAlign) unsigned char storage[InlineBytes];
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_SIM_INLINE_FUNCTION_HH

@@ -47,22 +47,28 @@ Socket::load(std::uint32_t core, Addr addr, std::function<void()> done)
     const Addr blk = blockAlign(addr);
     const Tick start = eventq.now();
 
-    auto finish = [this, start, done = std::move(done)] {
-        loadLatency.sample(eventq.now() - start);
-        done();
-    };
-
     TagArray &l1 = l1s[core];
     if (TagEntry *e = l1.find(blk)) {
         ++l1HitCount;
         l1.touch(e);
-        eventq.schedule(cfg.l1Latency, std::move(finish));
+        eventq.schedule(cfg.l1Latency,
+                        [this, start, done = std::move(done)] {
+            loadLatency.sample(eventq.now() - start);
+            done();
+        });
         return;
     }
     ++l1MissCount;
-    eventq.schedule(cfg.l1Latency, [this, core, blk,
-                                    finish = std::move(finish)]() mutable {
-        accessLlcForRead(core, blk, std::move(finish));
+    // Capture the raw pieces, not a pre-built latency-sampling
+    // closure: nesting a lambda inside a lambda would push the
+    // capture past the event's inline-storage budget.
+    eventq.schedule(cfg.l1Latency, [this, core, blk, start,
+                                    done = std::move(done)]() mutable {
+        accessLlcForRead(core, blk,
+                         [this, start, done = std::move(done)] {
+            loadLatency.sample(eventq.now() - start);
+            done();
+        });
     });
 }
 
@@ -159,23 +165,31 @@ Socket::store(std::uint32_t core, Addr addr, bool private_page,
     ++stores;
     const Addr blk = blockAlign(addr);
     const Tick start = eventq.now();
-    auto done = [this, start, done_raw = std::move(done_raw)] {
-        storeLatency.sample(eventq.now() - start);
-        done_raw();
-    };
 
     TagArray &l1 = l1s[core];
     if (TagEntry *e = l1.find(blk);
         e && e->state == CacheState::Modified) {
         l1.touch(e);
-        eventq.schedule(cfg.l1Latency, std::move(done));
+        eventq.schedule(cfg.l1Latency,
+                        [this, start, done_raw = std::move(done_raw)] {
+            storeLatency.sample(eventq.now() - start);
+            done_raw();
+        });
         return;
     }
 
     // Need the LLC's view (local directory, 7-cycle embedded tag).
+    // As in load(), the latency-sampling wrapper is built inside the
+    // continuation so the scheduled capture stays within the event's
+    // inline-storage budget; the capture order packs the bool into
+    // core's padding.
     eventq.schedule(cfg.l1Latency + cfg.localDirLatency,
-                    [this, core, blk, private_page,
-                     done = std::move(done)]() mutable {
+                    [this, core, private_page, blk, start,
+                     done_raw = std::move(done_raw)]() mutable {
+        auto done = [this, start, done_raw = std::move(done_raw)] {
+            storeLatency.sample(eventq.now() - start);
+            done_raw();
+        };
         TagEntry *e = llc.find(blk);
         if (e && e->state == CacheState::Modified) {
             // Socket already owns the block: invalidate sibling L1

@@ -5,8 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <functional>
+#include <utility>
 #include <vector>
 
+#include "common/rng.hh"
 #include "sim/event_queue.hh"
 
 namespace c3d
@@ -117,6 +123,184 @@ TEST(EventQueue, CountsExecutedEvents)
         eq.schedule(i, [] {});
     eq.run();
     EXPECT_EQ(eq.eventsExecuted(), 25u);
+}
+
+TEST(EventQueue, WheelWrapAround)
+{
+    // Delays beyond the wheel span park in the overflow heap; as the
+    // wheel base advances past the span boundary they must migrate in
+    // and still run in global (tick, sequence) order.
+    EventQueue eq;
+    std::vector<Tick> order;
+    const Tick span = EventQueue::WheelSpan;
+    eq.schedule(3 * span + 5, [&] { order.push_back(eq.now()); });
+    eq.schedule(span - 1, [&] { order.push_back(eq.now()); });
+    eq.schedule(span, [&] { order.push_back(eq.now()); });
+    eq.schedule(span + 1, [&] { order.push_back(eq.now()); });
+    eq.schedule(1, [&] { order.push_back(eq.now()); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<Tick>{1, span - 1, span, span + 1,
+                                        3 * span + 5}));
+}
+
+TEST(EventQueue, FarFutureSameTickKeepsScheduleOrder)
+{
+    // Two events land on the same far-future tick via the overflow
+    // heap, a third is scheduled directly once that tick is within
+    // the wheel horizon. All three must run in schedule order.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick target = 2 * EventQueue::WheelSpan + 7;
+    eq.scheduleAt(target, [&] { order.push_back(0); });
+    eq.scheduleAt(target, [&] { order.push_back(1); });
+    // An intermediate event advances the wheel base far enough that
+    // `target` is inside the horizon when the third event schedules.
+    eq.scheduleAt(2 * EventQueue::WheelSpan, [&] {
+        eq.scheduleAt(target, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, InterleavedScheduleAndScheduleAt)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(0);
+        eq.schedule(5, [&] { order.push_back(3); });     // tick 15
+        eq.scheduleAt(12, [&] { order.push_back(1); });
+        eq.scheduleAt(15, [&] { order.push_back(4); });  // after the
+        eq.schedule(2, [&] { order.push_back(2); });     // tick 12
+    });
+    EXPECT_TRUE(eq.run());
+    // Tick 12 runs 1 then 2 (schedule order), tick 15 runs 3 then 4.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueue, RunMaxTickBoundary)
+{
+    // An event exactly at maxTick runs; maxTick + 1 does not.
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(50, [&] { ++fired; });
+    eq.scheduleAt(51, [&] { ++fired; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.run(51));
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ScheduleAfterMaxTickStopRunsBeforeFarEvents)
+{
+    // Stop mid-run with a far-future event pending, then schedule an
+    // earlier event: it must still run first. Regression guard for
+    // the wheel base advancing past unexecuted time.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(0); });
+    eq.schedule(3 * EventQueue::WheelSpan, [&] { order.push_back(2); });
+    EXPECT_FALSE(eq.run(100));
+    eq.scheduleAt(200, [&] { order.push_back(1); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ResetClearsFarFutureEvents)
+{
+    EventQueue eq;
+    eq.schedule(5 * EventQueue::WheelSpan, [] { FAIL(); });
+    eq.schedule(1, [] { FAIL(); });
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.reset();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.run());
+}
+
+TEST(EventQueue, MatchesReferenceModelOnRandomSchedule)
+{
+    // Differential test: execution order must equal a stable sort of
+    // (tick, schedule sequence) over a random mix of near, same-tick
+    // and far-future events, including events scheduled mid-run.
+    EventQueue eq;
+    Rng rng(12345);
+    std::vector<std::pair<Tick, int>> expected; // (tick, id)
+    std::vector<int> got;
+    int next_id = 0;
+
+    std::function<void(int)> spawn = [&](int depth) {
+        const int n = 1 + static_cast<int>(rng.below(4));
+        for (int i = 0; i < n; ++i) {
+            // Mix: same-tick, short, wheel-boundary and far delays.
+            static const Tick kinds[] = {0, 1, 7,
+                                         EventQueue::WheelSpan - 1,
+                                         EventQueue::WheelSpan,
+                                         EventQueue::WheelSpan + 3,
+                                         3 * EventQueue::WheelSpan};
+            const Tick delay = kinds[rng.below(7)];
+            const int id = next_id++;
+            expected.emplace_back(eq.now() + delay, id);
+            eq.schedule(delay, [&, id, depth] {
+                got.push_back(id);
+                if (depth < 3)
+                    spawn(depth + 1);
+            });
+        }
+    };
+    spawn(0);
+    EXPECT_TRUE(eq.run());
+
+    // expected was appended in schedule order, so a stable sort by
+    // tick yields the (tick, sequence) reference order.
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], expected[i].second) << "at event " << i;
+}
+
+TEST(EventQueue, SimulatorSizedCapturesStayInline)
+{
+    // The largest capture any simulator scheduler builds: a `this`
+    // pointer, an address, a few scalars and one nested std::function
+    // continuation. It must fit the inline budget -- the hot path
+    // pays no heap allocation.
+    EventQueue eq;
+    struct BigCapture
+    {
+        void *self;
+        Addr blk;
+        bool a, b, c;
+        std::function<void()> done;
+    };
+    static_assert(sizeof(BigCapture) <= InlineFunction::InlineBytes,
+                  "simulator capture outgrew the inline budget");
+    int fired = 0;
+    BigCapture cap{&eq, 0x1234, true, false, true, [&] { ++fired; }};
+    eq.schedule(1, [cap = std::move(cap)] { cap.done(); });
+    EXPECT_EQ(eq.heapCallbackEvents(), 0u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, OversizedCapturesFallBackToHeap)
+{
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};
+    payload[15] = 99;
+    int seen = 0;
+    eq.schedule(1, [payload, &seen] {
+        seen = static_cast<int>(payload[15]);
+    });
+    EXPECT_EQ(eq.heapCallbackEvents(), 1u);
+    eq.run();
+    EXPECT_EQ(seen, 99);
 }
 
 TEST(EventQueueDeathTest, PastSchedulingPanics)

@@ -33,6 +33,27 @@ TEST(Runner, ProducesNonTrivialMetrics)
     EXPECT_LT(res.ipc(), static_cast<double>(cfg.totalCores()));
 }
 
+TEST(Runner, NoCallbackHeapFallbacksInAnyDesign)
+{
+    // Perf contract (docs/perf.md): every continuation the simulator
+    // schedules fits the event's inline-capture budget. A capture
+    // that outgrows it still runs correctly but silently costs a
+    // heap allocation per event -- this test turns that into a
+    // failure for each coherence design's scheduling paths.
+    setQuiet(true);
+    for (const Design d :
+         {Design::Baseline, Design::Snoopy, Design::FullDir,
+          Design::C3D, Design::C3DFullDir}) {
+        SystemConfig cfg = tinyConfig(d);
+        SyntheticWorkload wl(tinyProfile(), cfg.totalCores(),
+                             cfg.coresPerSocket);
+        Runner r(cfg, wl);
+        r.run(300, 1200);
+        EXPECT_EQ(r.machine().eventQueue().heapCallbackEvents(), 0u)
+            << "design " << designName(d);
+    }
+}
+
 TEST(Runner, WarmupExcludedFromWindow)
 {
     setQuiet(true);

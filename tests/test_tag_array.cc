@@ -27,6 +27,56 @@ TEST(TagArray, Geometry)
     EXPECT_EQ(t.numSets(), 128u);
 }
 
+TEST(TagArray, NonPowerOfTwoSetsKeepExactGeometry)
+{
+    // Power-of-two set counts take the mask fast path; odd set
+    // counts (reachable via c3d-sweep --scale or --dram-cache-mb)
+    // must keep the requested capacity and the exact modulo mapping
+    // -- never a silent round-up.
+    TagArray t;
+    t.init(3 * 4 * BlockBytes, 4); // 3 sets, 4 ways
+    EXPECT_EQ(t.numSets(), 3u);
+    EXPECT_EQ(t.capacityBlocks(), 12u);
+    // Blocks 0..2 map to distinct sets; 3 aliases into block 0's set
+    // but its own way (4-way set).
+    for (std::uint64_t n = 0; n < 4; ++n)
+        t.allocate(blockAddr(n), CacheState::Shared);
+    for (std::uint64_t n = 0; n < 4; ++n)
+        EXPECT_NE(t.find(blockAddr(n)), nullptr) << n;
+    // One set holds at most `ways` blocks: a fifth conflicting block
+    // in set 0 must evict one of {0, 3, 6, 9}-style residents.
+    t.allocate(blockAddr(6), CacheState::Shared);
+    t.allocate(blockAddr(9), CacheState::Shared);
+    AllocResult ar = t.allocate(blockAddr(12), CacheState::Shared);
+    EXPECT_TRUE(ar.evictedValid);
+}
+
+TEST(TagArray, ConstFindMatchesMutableFind)
+{
+    TagArray t;
+    t.init(4096, 4);
+    t.allocate(blockAddr(9), CacheState::Modified);
+    const TagArray &ct = t;
+    const TagEntry *ce = ct.find(blockAddr(9));
+    ASSERT_NE(ce, nullptr);
+    EXPECT_EQ(ce, t.find(blockAddr(9)));
+    EXPECT_EQ(ct.find(blockAddr(10)), nullptr);
+}
+
+TEST(TagArray, AllocateHitDoesNotEvict)
+{
+    // Re-allocating a resident block must reuse its entry even when
+    // the set is full of older candidates the fused scan also sees.
+    TagArray t;
+    t.init(2 * BlockBytes, 2); // one set, two ways
+    t.allocate(blockAddr(1), CacheState::Shared);
+    t.allocate(blockAddr(2), CacheState::Shared);
+    AllocResult ar = t.allocate(blockAddr(1), CacheState::Modified);
+    EXPECT_FALSE(ar.evictedValid);
+    EXPECT_EQ(ar.entry->state, CacheState::Modified);
+    EXPECT_NE(t.find(blockAddr(2)), nullptr);
+}
+
 TEST(TagArray, MissThenHit)
 {
     TagArray t;

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Perf-regression report: measures the simulator's hot-path
+ * primitives plus one fixed end-to-end sweep row and emits a
+ * machine-readable BENCH_PR3.json so CI can track the throughput
+ * trajectory across PRs.
+ *
+ * Sections:
+ *  - event_queue: the BM_EventQueueScheduleRun workload (1024 events,
+ *    small mixed delays) on the production kernel AND on an embedded
+ *    replica of the pre-PR kernel (std::function callbacks in a
+ *    std::priority_queue). Both run on the same machine in the same
+ *    process, so speedup_vs_pre_pr is a live apples-to-apples ratio,
+ *    not a stale constant. Same-tick bursts and far-future (wheel
+ *    overflow) variants are reported alongside.
+ *  - tag_array: ns per lookup, per allocate, and per always-evicting
+ *    allocate.
+ *  - end_to_end: one fixed sweep row (facesim / C3D / 4 sockets),
+ *    reporting wall time, simulated events, and host events/second.
+ *
+ * The tool exits non-zero if any scheduled callback fell back to a
+ * heap allocation during the end-to-end row: the simulator's capture
+ * sizes are part of the perf contract (docs/perf.md).
+ *
+ * Usage: bench-report [--quick] [--out=PATH|-]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "cache/tag_array.hh"
+#include "common/rng.hh"
+#include "exp/sweep_grid.hh"
+#include "sim/event_queue.hh"
+#include "sim/runner.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Replica of the pre-PR event kernel: heap-allocating std::function
+ * callbacks ordered by a std::priority_queue. Kept here (not in
+ * src/) purely as the live baseline for the report.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    c3d::Tick now() const { return currentTick; }
+
+    void
+    schedule(c3d::Tick delay, Callback cb)
+    {
+        queue.push(Event{currentTick + delay, nextSequence++,
+                         std::move(cb)});
+    }
+
+    void
+    run()
+    {
+        while (!queue.empty()) {
+            const Event &top = queue.top();
+            currentTick = top.when;
+            Callback cb = std::move(const_cast<Event &>(top).cb);
+            queue.pop();
+            cb();
+        }
+    }
+
+  private:
+    struct Event
+    {
+        c3d::Tick when;
+        std::uint64_t sequence;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    c3d::Tick currentTick = 0;
+    std::uint64_t nextSequence = 0;
+};
+
+/**
+ * Best-of-@p rounds throughput of @p batch (which processes
+ * @p items_per_batch items), running @p batches batches per round.
+ * Best-of damps scheduler noise; the workload itself is
+ * deterministic.
+ */
+template <typename BatchFn>
+double
+measureItemsPerSec(int rounds, int batches,
+                   std::uint64_t items_per_batch, BatchFn &&batch)
+{
+    double best = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+        const auto start = Clock::now();
+        for (int i = 0; i < batches; ++i)
+            batch();
+        const double secs = secondsSince(start);
+        const double ips =
+            static_cast<double>(items_per_batch) * batches / secs;
+        if (ips > best)
+            best = ips;
+    }
+    return best;
+}
+
+struct Report
+{
+    bool quick = false;
+
+    double scheduleRunIps = 0;
+    double sameTickIps = 0;
+    double farFutureIps = 0;
+    double legacyScheduleRunIps = 0;
+
+    double nsPerLookup = 0;
+    double nsPerAllocate = 0;
+    double nsPerAllocateEvict = 0;
+
+    std::string rowName;
+    double rowWallSeconds = 0;
+    std::uint64_t rowEvents = 0;
+    double rowEventsPerSec = 0;
+    double rowIpc = 0;
+    std::uint64_t rowHeapCallbackEvents = 0;
+};
+
+void
+benchEventQueues(Report &rep)
+{
+    const int rounds = rep.quick ? 3 : 5;
+    const int batches = rep.quick ? 300 : 3000;
+    constexpr int N = 1024;
+
+    // The legacy replica runs first, on a pristine heap, mirroring
+    // the conditions the pre-PR kernel was originally measured under.
+    {
+        LegacyEventQueue eq;
+        std::uint64_t sink = 0;
+        rep.legacyScheduleRunIps =
+            measureItemsPerSec(rounds, batches, N, [&] {
+                for (int i = 0; i < N; ++i)
+                    eq.schedule(static_cast<c3d::Tick>(i & 7),
+                                [&sink] { ++sink; });
+                eq.run();
+            });
+    }
+    {
+        c3d::EventQueue eq;
+        std::uint64_t sink = 0;
+        rep.scheduleRunIps = measureItemsPerSec(rounds, batches, N, [&] {
+            for (int i = 0; i < N; ++i)
+                eq.schedule(static_cast<c3d::Tick>(i & 7),
+                            [&sink] { ++sink; });
+            eq.run();
+        });
+    }
+    {
+        c3d::EventQueue eq;
+        std::uint64_t sink = 0;
+        rep.sameTickIps = measureItemsPerSec(rounds, batches, N, [&] {
+            for (int i = 0; i < N; ++i)
+                eq.schedule(3, [&sink] { ++sink; });
+            eq.run();
+        });
+    }
+    {
+        c3d::EventQueue eq;
+        std::uint64_t sink = 0;
+        const c3d::Tick far = 4 * c3d::EventQueue::WheelSpan;
+        rep.farFutureIps = measureItemsPerSec(rounds, batches, N, [&] {
+            for (int i = 0; i < N; ++i)
+                eq.schedule(far + static_cast<c3d::Tick>(i & 63),
+                            [&sink] { ++sink; });
+            eq.run();
+        });
+    }
+}
+
+void
+benchTagArray(Report &rep)
+{
+    const int rounds = rep.quick ? 3 : 5;
+    const int ops = rep.quick ? 200000 : 2000000;
+
+    {
+        c3d::TagArray tags;
+        tags.init(1 << 20, 16);
+        c3d::Rng rng(1);
+        for (int i = 0; i < 10000; ++i)
+            tags.allocate(rng.below(1 << 20), c3d::CacheState::Shared);
+        std::uint64_t hits = 0;
+        const double ips = measureItemsPerSec(rounds, 1, ops, [&] {
+            for (int i = 0; i < ops; ++i)
+                hits += tags.find(rng.below(1 << 20)) != nullptr;
+        });
+        rep.nsPerLookup = 1e9 / ips;
+        if (hits == 0)
+            std::fprintf(stderr, "warn: no tag hits measured\n");
+    }
+    {
+        c3d::TagArray tags;
+        tags.init(1 << 18, 8);
+        c3d::Rng rng(2);
+        const double ips = measureItemsPerSec(rounds, 1, ops, [&] {
+            for (int i = 0; i < ops; ++i)
+                tags.allocate(rng.below(1 << 22) * c3d::BlockBytes,
+                              c3d::CacheState::Shared);
+        });
+        rep.nsPerAllocate = 1e9 / ips;
+    }
+    {
+        c3d::TagArray tags;
+        tags.init(1 << 18, 8);
+        c3d::Addr next = 0;
+        for (std::uint64_t i = 0; i < tags.capacityBlocks(); ++i)
+            tags.allocate((next++) * c3d::BlockBytes,
+                          c3d::CacheState::Shared);
+        const double ips = measureItemsPerSec(rounds, 1, ops, [&] {
+            for (int i = 0; i < ops; ++i)
+                tags.allocate((next++) * c3d::BlockBytes,
+                              c3d::CacheState::Shared);
+        });
+        rep.nsPerAllocateEvict = 1e9 / ips;
+    }
+}
+
+void
+benchEndToEnd(Report &rep)
+{
+    c3d::exp::SweepGrid grid;
+    grid.workloads = {c3d::facesimProfile()};
+    grid.designs = {c3d::Design::C3D};
+    grid.sockets = {4};
+    if (rep.quick)
+        grid = c3d::exp::quickPreset(grid);
+    const std::vector<c3d::exp::RunSpec> specs = grid.expand();
+    const c3d::exp::RunSpec &spec = specs.front();
+
+    rep.rowName = spec.profile.name + "/c3d/" +
+        std::to_string(spec.cfg.numSockets) + "skt/scale" +
+        std::to_string(spec.scale);
+
+    c3d::SyntheticWorkload wl(spec.profile.scaled(spec.scale),
+                              spec.cfg.totalCores(),
+                              spec.cfg.coresPerSocket);
+    c3d::Runner runner(spec.cfg, wl);
+    const auto start = Clock::now();
+    const c3d::RunResult res =
+        runner.run(spec.warmupOps, spec.measureOps);
+    rep.rowWallSeconds = secondsSince(start);
+    rep.rowEvents = runner.machine().eventQueue().eventsExecuted();
+    rep.rowEventsPerSec = rep.rowEvents / rep.rowWallSeconds;
+    rep.rowIpc = res.ipc();
+    rep.rowHeapCallbackEvents =
+        runner.machine().eventQueue().heapCallbackEvents();
+}
+
+void
+writeJson(std::FILE *f, const Report &rep)
+{
+    // Pre-PR reference, for context next to the live replica number:
+    // BM_EventQueueScheduleRun / BM_TagArrayLookup measured at commit
+    // 60bb094 (the kernel this PR replaced) on the PR machine.
+    constexpr double prePrGbenchIps = 1.4633534e7;
+    constexpr double prePrGbenchNsPerLookup = 34.44;
+
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"c3d-bench-report-v1\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", rep.quick ? "true" : "false");
+    std::fprintf(f, "  \"event_queue\": {\n");
+    std::fprintf(f, "    \"schedule_run_items_per_sec\": %.0f,\n",
+                 rep.scheduleRunIps);
+    std::fprintf(f, "    \"same_tick_items_per_sec\": %.0f,\n",
+                 rep.sameTickIps);
+    std::fprintf(f, "    \"far_future_items_per_sec\": %.0f,\n",
+                 rep.farFutureIps);
+    std::fprintf(f,
+                 "    \"pre_pr_kernel_items_per_sec\": %.0f,\n",
+                 rep.legacyScheduleRunIps);
+    std::fprintf(f, "    \"speedup_vs_pre_pr\": %.2f,\n",
+                 rep.scheduleRunIps / rep.legacyScheduleRunIps);
+    std::fprintf(f,
+                 "    \"pre_pr_gbench_reference_items_per_sec\": "
+                 "%.0f\n",
+                 prePrGbenchIps);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"tag_array\": {\n");
+    std::fprintf(f, "    \"ns_per_lookup\": %.2f,\n", rep.nsPerLookup);
+    std::fprintf(f, "    \"ns_per_allocate\": %.2f,\n",
+                 rep.nsPerAllocate);
+    std::fprintf(f, "    \"ns_per_allocate_evict\": %.2f,\n",
+                 rep.nsPerAllocateEvict);
+    std::fprintf(f,
+                 "    \"pre_pr_gbench_reference_ns_per_lookup\": "
+                 "%.2f\n",
+                 prePrGbenchNsPerLookup);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"end_to_end\": {\n");
+    std::fprintf(f, "    \"row\": \"%s\",\n", rep.rowName.c_str());
+    std::fprintf(f, "    \"wall_seconds\": %.3f,\n",
+                 rep.rowWallSeconds);
+    std::fprintf(f, "    \"events\": %llu,\n",
+                 static_cast<unsigned long long>(rep.rowEvents));
+    std::fprintf(f, "    \"events_per_sec\": %.0f,\n",
+                 rep.rowEventsPerSec);
+    std::fprintf(f, "    \"ipc\": %.4f,\n", rep.rowIpc);
+    std::fprintf(f, "    \"heap_callback_events\": %llu\n",
+                 static_cast<unsigned long long>(
+                     rep.rowHeapCallbackEvents));
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Report rep;
+    std::string out = "BENCH_PR3.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            rep.quick = true;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out = arg.substr(6);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench-report [--quick] "
+                         "[--out=PATH|-]\n");
+            return 2;
+        }
+    }
+
+    benchEventQueues(rep);
+    benchTagArray(rep);
+    benchEndToEnd(rep);
+
+    if (out == "-") {
+        writeJson(stdout, rep);
+    } else {
+        std::FILE *f = std::fopen(out.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench-report: cannot write %s\n",
+                         out.c_str());
+            return 2;
+        }
+        writeJson(f, rep);
+        std::fclose(f);
+    }
+
+    std::fprintf(stderr,
+                 "event queue: %.1fM items/s (pre-PR kernel %.1fM, "
+                 "%.2fx); tag lookup %.1f ns; row %s in %.2fs "
+                 "(%.1fM events/s)\n",
+                 rep.scheduleRunIps / 1e6,
+                 rep.legacyScheduleRunIps / 1e6,
+                 rep.scheduleRunIps / rep.legacyScheduleRunIps,
+                 rep.nsPerLookup, rep.rowName.c_str(),
+                 rep.rowWallSeconds, rep.rowEventsPerSec / 1e6);
+
+    if (rep.rowHeapCallbackEvents != 0) {
+        std::fprintf(stderr,
+                     "bench-report: FAIL: %llu scheduled callbacks "
+                     "spilled to the heap (capture over the "
+                     "InlineFunction budget; see docs/perf.md)\n",
+                     static_cast<unsigned long long>(
+                         rep.rowHeapCallbackEvents));
+        return 1;
+    }
+    return 0;
+}
