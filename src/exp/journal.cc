@@ -1,0 +1,420 @@
+#include "exp/journal.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#ifdef _WIN32
+#include <fcntl.h>
+#include <io.h>
+#define c3d_fileno _fileno
+#define c3d_fsync _commit
+#else
+#include <unistd.h>
+#define c3d_fileno fileno
+#define c3d_fsync fsync
+#endif
+
+namespace
+{
+
+int
+truncateFile(const std::string &path, std::uint64_t length)
+{
+#ifdef _WIN32
+    const int fd = _open(path.c_str(), _O_WRONLY | _O_BINARY);
+    if (fd < 0)
+        return -1;
+    const int rc =
+        _chsize_s(fd, static_cast<long long>(length)) == 0 ? 0 : -1;
+    _close(fd);
+    return rc;
+#else
+    return ::truncate(path.c_str(), static_cast<off_t>(length));
+#endif
+}
+
+} // namespace
+
+#include "exp/json.hh"
+
+namespace c3d::exp
+{
+
+namespace
+{
+
+/** Parse one entry line (already known not to be the header). */
+bool
+parseEntryLine(const std::string &line, JournalEntry &out,
+               std::string &error)
+{
+    JsonValue v;
+    if (!parseJson(line, v, error))
+        return false;
+    if (!v.isObject()) {
+        error = "entry is not an object";
+        return false;
+    }
+    const JsonValue *index = v.member("index");
+    if (!index || !index->isNumber()) {
+        error = "entry missing numeric 'index'";
+        return false;
+    }
+    const JsonValue *row = v.member("row");
+    if (!row) {
+        error = "entry missing 'row'";
+        return false;
+    }
+    JournalEntry entry;
+    entry.index = index->u64();
+    if (!ResultTable::rowFromJson(*row, entry.row, error))
+        return false;
+    out = std::move(entry);
+    return true;
+}
+
+} // namespace
+
+const char *
+journalSchemaName()
+{
+    return "c3d-sweep-journal/v1";
+}
+
+std::string
+journalHeaderLine(std::uint64_t total, const std::string &fingerprint)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"schema\": \"%s\", \"total\": %" PRIu64
+                  ", \"grid\": \"%s\"}\n",
+                  journalSchemaName(), total,
+                  jsonEscape(fingerprint).c_str());
+    return buf;
+}
+
+std::string
+journalEntryLine(std::uint64_t index, const ResultRow &row)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "{\"index\": %" PRIu64
+                  ", \"row\": ", index);
+    return buf + ResultTable::rowToJson(row) + "}\n";
+}
+
+bool
+parseJournal(const std::string &text, JournalData &out,
+             std::string &error)
+{
+    if (text.empty()) {
+        error = "empty journal";
+        return false;
+    }
+
+    // Split on '\n'; remember whether the final line was terminated
+    // (an unterminated tail is the crash-mid-append signature).
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    const bool unterminated_tail = !cur.empty();
+    if (unterminated_tail)
+        lines.push_back(cur);
+
+    JournalData data;
+
+    // Header.
+    {
+        JsonValue v;
+        std::string jerr;
+        if (!parseJson(lines[0], v, jerr) || !v.isObject()) {
+            error = "malformed journal header: " +
+                (jerr.empty() ? std::string("not an object") : jerr);
+            return false;
+        }
+        const JsonValue *schema = v.member("schema");
+        if (!schema || !schema->isString() ||
+            schema->string() != journalSchemaName()) {
+            error = "missing or unexpected journal schema";
+            return false;
+        }
+        const JsonValue *total = v.member("total");
+        const JsonValue *grid = v.member("grid");
+        if (!total || !total->isNumber() || !grid ||
+            !grid->isString()) {
+            error = "journal header missing 'total' or 'grid'";
+            return false;
+        }
+        if (unterminated_tail && lines.size() == 1) {
+            error = "journal header line is truncated";
+            return false;
+        }
+        data.total = total->u64();
+        data.fingerprint = grid->string();
+    }
+
+    std::unordered_map<std::uint64_t, std::size_t> seen;
+    for (std::size_t l = 1; l < lines.size(); ++l) {
+        if (lines[l].empty())
+            continue;
+        if (unterminated_tail && l + 1 == lines.size()) {
+            // Crash artifact: only fully fsync'd (newline-
+            // terminated) lines count, even when the torn tail
+            // happens to parse -- JournalWriter::openAppend trims
+            // it, so accepting it here would desync the file from
+            // this view. The grid point is re-run or reported
+            // missing, never silently lost.
+            data.truncatedTail = true;
+            break;
+        }
+        JournalEntry entry;
+        std::string lerr;
+        if (!parseEntryLine(lines[l], entry, lerr)) {
+            error = "malformed journal line " + std::to_string(l + 1) +
+                ": " + lerr;
+            return false;
+        }
+        const auto it = seen.find(entry.index);
+        if (it != seen.end()) {
+            if (!data.entries[it->second].row.sameAs(entry.row)) {
+                error = "conflicting metrics for grid point " +
+                    std::to_string(entry.index);
+                return false;
+            }
+            continue; // identical duplicate: collapse
+        }
+        seen.emplace(entry.index, data.entries.size());
+        data.entries.push_back(std::move(entry));
+    }
+
+    out = std::move(data);
+    return true;
+}
+
+ReadFile
+readTextFile(const std::string &path, std::string &out,
+             std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        const int open_errno = errno; // before allocations clobber it
+        error = "cannot open '" + path + "': " +
+            std::strerror(open_errno);
+        // Only true absence is Absent: an existing-but-unopenable
+        // file (permissions, transient I/O) must not be mistaken
+        // for "no journal yet" and recreated over.
+        return open_errno == ENOENT ? ReadFile::Absent
+                                    : ReadFile::Error;
+    }
+    out.clear();
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) {
+        error = "error reading '" + path + "'";
+        return ReadFile::Error;
+    }
+    return ReadFile::Ok;
+}
+
+bool
+readJournalFile(const std::string &path, JournalData &out,
+                std::string &error)
+{
+    std::string text;
+    if (readTextFile(path, text, error) != ReadFile::Ok)
+        return false;
+    if (!parseJournal(text, out, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+bool
+mergeJournals(const std::vector<JournalData> &parts, ResultTable &out,
+              std::string &error)
+{
+    if (parts.empty()) {
+        error = "no journals to merge";
+        return false;
+    }
+    const std::uint64_t total = parts[0].total;
+    const std::string &fingerprint = parts[0].fingerprint;
+    for (const JournalData &part : parts) {
+        if (part.total != total || part.fingerprint != fingerprint) {
+            error = "journals come from different grids "
+                    "(total/fingerprint mismatch)";
+            return false;
+        }
+    }
+
+    // Ordered by spec ordinal == grid expansion order.
+    std::map<std::uint64_t, const ResultRow *> by_index;
+    std::unordered_map<std::string, std::uint64_t> by_identity;
+    for (const JournalData &part : parts) {
+        for (const JournalEntry &entry : part.entries) {
+            if (entry.index >= total) {
+                error = "grid point " + std::to_string(entry.index) +
+                    " out of range (grid has " +
+                    std::to_string(total) + " points)";
+                return false;
+            }
+            const auto it = by_index.find(entry.index);
+            if (it != by_index.end()) {
+                if (!it->second->sameAs(entry.row)) {
+                    error = "conflicting metrics for grid point " +
+                        std::to_string(entry.index);
+                    return false;
+                }
+                continue;
+            }
+            const std::string key = entry.row.identityKey();
+            const auto id = by_identity.find(key);
+            if (id != by_identity.end()) {
+                // Grids may legitimately repeat an axis value, in
+                // which case the deterministic simulator produces
+                // identical rows at both ordinals; only mismatched
+                // metrics indicate cross-grid contamination.
+                if (!by_index.at(id->second)->sameAs(entry.row)) {
+                    error = "identity collision: grid points " +
+                        std::to_string(id->second) + " and " +
+                        std::to_string(entry.index) +
+                        " share identity '" + key +
+                        "' with different metrics";
+                    return false;
+                }
+            } else {
+                by_identity.emplace(key, entry.index);
+            }
+            by_index.emplace(entry.index, &entry.row);
+        }
+    }
+
+    if (by_index.size() != total) {
+        for (std::uint64_t i = 0; i < total; ++i) {
+            if (by_index.find(i) == by_index.end()) {
+                error = "incomplete journals: grid point " +
+                    std::to_string(i) + " missing (" +
+                    std::to_string(by_index.size()) + " of " +
+                    std::to_string(total) + " present)";
+                return false;
+            }
+        }
+    }
+
+    ResultTable table;
+    for (const auto &kv : by_index)
+        table.appendRow(*kv.second);
+    out = std::move(table);
+    return true;
+}
+
+bool
+JournalWriter::create(const std::string &path, std::uint64_t total,
+                      const std::string &fingerprint,
+                      std::string &error, bool exclusive)
+{
+    close();
+    file = std::fopen(path.c_str(), exclusive ? "wbx" : "wb");
+    if (!file) {
+        error = "cannot create journal '" + path + "': " +
+            std::strerror(errno);
+        return false;
+    }
+    return writeLine(journalHeaderLine(total, fingerprint), error);
+}
+
+bool
+JournalWriter::openAppend(const std::string &path, std::string &error)
+{
+    close();
+
+    // Trim a torn trailing line (crash mid-append) so new entries
+    // start on a fresh line. The reader never counts unterminated
+    // lines, so nothing it reported is removed here.
+    std::FILE *probe = std::fopen(path.c_str(), "rb");
+    if (!probe) {
+        error = "cannot open journal '" + path + "': " +
+            std::strerror(errno);
+        return false;
+    }
+    std::uint64_t size = 0;
+    std::uint64_t last_newline_end = 0;
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), probe)) > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (buf[i] == '\n')
+                last_newline_end = size + i + 1;
+        }
+        size += n;
+    }
+    const bool read_error = std::ferror(probe) != 0;
+    std::fclose(probe);
+    if (read_error) {
+        error = "error reading journal '" + path + "'";
+        return false;
+    }
+    if (last_newline_end < size &&
+        truncateFile(path, last_newline_end) != 0) {
+        error = "cannot trim torn line in journal '" + path + "': " +
+            std::strerror(errno);
+        return false;
+    }
+
+    file = std::fopen(path.c_str(), "ab");
+    if (!file) {
+        error = "cannot append to journal '" + path + "': " +
+            std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+JournalWriter::append(std::uint64_t index, const ResultRow &row,
+                      std::string &error)
+{
+    if (!file) {
+        error = "journal is not open";
+        return false;
+    }
+    return writeLine(journalEntryLine(index, row), error);
+}
+
+bool
+JournalWriter::writeLine(const std::string &line, std::string &error)
+{
+    if (std::fwrite(line.data(), 1, line.size(), file) != line.size()
+        || std::fflush(file) != 0 ||
+        c3d_fsync(c3d_fileno(file)) != 0) {
+        error = std::string("journal write failed: ") +
+            std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+void
+JournalWriter::close()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+} // namespace c3d::exp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Crash-safe sweep journals: incremental checkpoint/resume and
+ * shard-merge for distributed sweeps.
+ *
+ * A journal is a JSONL sidecar next to a sweep run. Line 1 is a
+ * header naming the schema, the grid's total spec count, and its
+ * identity fingerprint; every subsequent line records one completed
+ * grid point as `{"index": N, "row": {...}}` where the row object is
+ * exactly the ResultTable::rowToJson() serialization. Lines are
+ * appended (and fsync'd) as rows complete, in completion order --
+ * the explicit spec ordinal is what restores grid order on read, so
+ * any interleaving of workers or shards is equivalent.
+ *
+ * Reader guarantees (docs/sweeps.md "Distributing and resuming
+ * sweeps"): a final line without its terminating newline -- the
+ * signature of a crash mid-append -- is dropped and reported
+ * (openAppend trims the torn bytes before continuing), so that
+ * grid point is simply re-run; any other malformed line, any
+ * duplicate ordinal with different metrics, and any grid mismatch
+ * is a loud error. A grid point is never silently dropped: merge
+ * refuses gaps.
+ */
+
+#ifndef C3DSIM_EXP_JOURNAL_HH
+#define C3DSIM_EXP_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/result_table.hh"
+
+namespace c3d::exp
+{
+
+/** One journal line: a completed grid point. */
+struct JournalEntry
+{
+    std::uint64_t index = 0; //!< spec ordinal in grid expansion order
+    ResultRow row;
+};
+
+/** A parsed journal file. */
+struct JournalData
+{
+    std::uint64_t total = 0;  //!< grid size from the header
+    std::string fingerprint;  //!< gridFingerprint() from the header
+    /** Entries in file order, duplicates already collapsed. */
+    std::vector<JournalEntry> entries;
+    /** True when a truncated trailing line was dropped. */
+    bool truncatedTail = false;
+};
+
+/** Journal schema identifier (header "schema" member). */
+const char *journalSchemaName();
+
+/** Serialize the header line (newline-terminated). */
+std::string journalHeaderLine(std::uint64_t total,
+                              const std::string &fingerprint);
+
+/** Serialize one entry line (newline-terminated). */
+std::string journalEntryLine(std::uint64_t index,
+                             const ResultRow &row);
+
+/**
+ * Parse journal @p text into @p out. Duplicate ordinals carrying
+ * identical rows are collapsed; a final line without its trailing
+ * newline is dropped with truncatedTail set (only fully fsync'd
+ * lines count). Everything else malformed is an error.
+ */
+bool parseJournal(const std::string &text, JournalData &out,
+                  std::string &error);
+
+/** Outcome of readTextFile. */
+enum class ReadFile
+{
+    Ok,
+    Absent, //!< could not be opened (typically: does not exist)
+    Error,  //!< opened but reading failed -- contents untrustworthy
+};
+
+/**
+ * Slurp @p path into @p out. Shared by the journal reader and the
+ * sweep tools; the tri-state result lets --resume distinguish "no
+ * journal yet" (start fresh) from "journal unreadable" (abort --
+ * recreating on a transient read failure would destroy checkpointed
+ * rows). @p error is set for both non-Ok outcomes.
+ */
+ReadFile readTextFile(const std::string &path, std::string &out,
+                      std::string &error);
+
+/** Read and parse the journal at @p path. */
+bool readJournalFile(const std::string &path, JournalData &out,
+                     std::string &error);
+
+/**
+ * Merge journals from the same grid (equal total + fingerprint;
+ * e.g. one journal per shard) into a complete ResultTable in grid
+ * order. Refuses ordinal or identity collisions with mismatched
+ * rows, and refuses incomplete coverage: every ordinal in
+ * [0, total) must be present exactly once after deduplication.
+ */
+bool mergeJournals(const std::vector<JournalData> &parts,
+                   ResultTable &out, std::string &error);
+
+/**
+ * Crash-safe journal appender. Each append writes one line and
+ * flushes it through the OS (fflush + fsync) before returning, so a
+ * killed process loses at most the line being written -- which the
+ * reader recovers from.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter() { close(); }
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Create @p path and write a fresh header. @p exclusive
+     * refuses an existing file atomically (no check-then-create
+     * race between processes handed the same path); otherwise an
+     * existing file is truncated.
+     */
+    bool create(const std::string &path, std::uint64_t total,
+                const std::string &fingerprint, std::string &error,
+                bool exclusive = false);
+
+    /**
+     * Open an existing journal for appending. The caller is
+     * expected to have validated the contents via readJournalFile.
+     */
+    bool openAppend(const std::string &path, std::string &error);
+
+    /** Append one completed grid point. */
+    bool append(std::uint64_t index, const ResultRow &row,
+                std::string &error);
+
+    bool isOpen() const { return file != nullptr; }
+    void close();
+
+  private:
+    bool writeLine(const std::string &line, std::string &error);
+
+    std::FILE *file = nullptr;
+};
+
+} // namespace c3d::exp
+
+#endif // C3DSIM_EXP_JOURNAL_HH

@@ -106,6 +106,21 @@ formatIpc(double ipc)
     return buf;
 }
 
+/**
+ * Validate a serialized ipc token. The value itself is recomputed
+ * from the integer columns on emit, but a malformed token means the
+ * input is not our schema: reject loudly instead of ignoring it.
+ */
+bool
+validIpcToken(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end && *end == '\0';
+}
+
 /** CSV-quote a field only when it needs it. */
 std::string
 csvField(const std::string &s)
@@ -123,7 +138,36 @@ csvField(const std::string &s)
     return out;
 }
 
-/** Split one CSV line honoring quoted fields. */
+/**
+ * Split CSV text into records, honoring quoted fields: a '\n'
+ * inside a quoted field belongs to the field, not the record
+ * separator (toCsv emits such records for names containing
+ * newlines, so the parser must accept them back).
+ */
+std::vector<std::string>
+splitCsvRecords(const std::string &text)
+{
+    std::vector<std::string> records;
+    std::string cur;
+    // Flipping on every '"' tracks quoting exactly for emitter
+    // output: an escaped "" flips twice and stays inside the field.
+    bool quoted = false;
+    for (const char c : text) {
+        if (c == '\n' && !quoted) {
+            records.push_back(cur);
+            cur.clear();
+            continue;
+        }
+        if (c == '"')
+            quoted = !quoted;
+        cur += c;
+    }
+    if (!cur.empty())
+        records.push_back(cur);
+    return records;
+}
+
+/** Split one CSV record honoring quoted fields. */
 bool
 splitCsvLine(const std::string &line, std::vector<std::string> &out)
 {
@@ -172,6 +216,32 @@ ResultRow::sameAs(const ResultRow &o) const
             return false;
     }
     return true;
+}
+
+std::string
+identityKeyOf(const std::string &workload, const std::string &variant,
+              const std::string &design, const std::string &mapping,
+              std::uint32_t sockets, std::uint32_t cores_per_socket,
+              std::uint32_t scale, std::uint64_t dram_cache_mb,
+              std::uint64_t warmup_ops, std::uint64_t measure_ops,
+              std::uint64_t seed)
+{
+    char nums[192];
+    std::snprintf(nums, sizeof(nums),
+                  "|%" PRIu32 "|%" PRIu32 "|%" PRIu32 "|%" PRIu64
+                  "|%" PRIu64 "|%" PRIu64 "|%" PRIu64,
+                  sockets, cores_per_socket, scale, dram_cache_mb,
+                  warmup_ops, measure_ops, seed);
+    return workload + '|' + variant + '|' + design + '|' + mapping +
+        nums;
+}
+
+std::string
+ResultRow::identityKey() const
+{
+    return identityKeyOf(workload, variant, design, mapping, sockets,
+                         coresPerSocket, scale, dramCacheMb,
+                         warmupOps, measureOps, seed);
 }
 
 void
@@ -223,6 +293,66 @@ ResultTable::schemaName()
 }
 
 std::string
+ResultTable::rowToJson(const ResultRow &r)
+{
+    std::string out = "{";
+    for (std::size_t c = 0; c < NumStringCols; ++c) {
+        out += c ? ", \"" : "\"";
+        out += StringCols[c];
+        out += "\": \"";
+        out += jsonEscape(*stringField(r, c));
+        out += "\"";
+    }
+    for (std::size_t c = 0; c < NumIntCols; ++c) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ", \"%s\": %" PRIu64,
+                      IntCols[c], intFieldValue(r, c));
+        out += buf;
+    }
+    out += ", \"ipc\": " + formatIpc(r.metrics.ipc());
+    out += "}";
+    return out;
+}
+
+bool
+ResultTable::rowFromJson(const JsonValue &rv, ResultRow &out,
+                         std::string &error)
+{
+    if (!rv.isObject()) {
+        error = "row is not an object";
+        return false;
+    }
+    ResultRow row;
+    for (std::size_t c = 0; c < NumStringCols; ++c) {
+        const JsonValue *v = rv.member(StringCols[c]);
+        if (!v || !v->isString()) {
+            error = std::string("row missing string field '") +
+                StringCols[c] + "'";
+            return false;
+        }
+        *stringField(row, c) = v->string();
+    }
+    for (std::size_t c = 0; c < NumIntCols; ++c) {
+        const JsonValue *v = rv.member(IntCols[c]);
+        if (!v || !v->isNumber()) {
+            error = std::string("row missing numeric field '") +
+                IntCols[c] + "'";
+            return false;
+        }
+        setIntField(row, c, v->u64());
+    }
+    // ipc is recomputed on emit, but its absence means the object
+    // is not a schema row.
+    const JsonValue *ipc = rv.member("ipc");
+    if (!ipc || !ipc->isNumber()) {
+        error = "row missing numeric field 'ipc'";
+        return false;
+    }
+    out = std::move(row);
+    return true;
+}
+
+std::string
 ResultTable::toJson() const
 {
     std::string out;
@@ -230,23 +360,8 @@ ResultTable::toJson() const
     out += schemaName();
     out += "\",\n  \"rows\": [";
     for (std::size_t i = 0; i < tableRows.size(); ++i) {
-        const ResultRow &r = tableRows[i];
-        out += i ? ",\n    {" : "\n    {";
-        for (std::size_t c = 0; c < NumStringCols; ++c) {
-            out += c ? ", \"" : "\"";
-            out += StringCols[c];
-            out += "\": \"";
-            out += jsonEscape(*stringField(r, c));
-            out += "\"";
-        }
-        for (std::size_t c = 0; c < NumIntCols; ++c) {
-            char buf[48];
-            std::snprintf(buf, sizeof(buf), ", \"%s\": %" PRIu64,
-                          IntCols[c], intFieldValue(r, c));
-            out += buf;
-        }
-        out += ", \"ipc\": " + formatIpc(r.metrics.ipc());
-        out += "}";
+        out += i ? ",\n    " : "\n    ";
+        out += rowToJson(tableRows[i]);
     }
     out += tableRows.empty() ? "]\n}\n" : "\n  ]\n}\n";
     return out;
@@ -307,30 +422,10 @@ ResultTable::fromJson(const std::string &text, ResultTable &out,
     }
     ResultTable table;
     for (const JsonValue &rv : rows->array()) {
-        if (!rv.isObject()) {
-            error = "row is not an object";
-            return false;
-        }
         ResultRow row;
-        for (std::size_t c = 0; c < NumStringCols; ++c) {
-            const JsonValue *v = rv.member(StringCols[c]);
-            if (!v || !v->isString()) {
-                error = std::string("row missing string field '") +
-                    StringCols[c] + "'";
-                return false;
-            }
-            *stringField(row, c) = v->string();
-        }
-        for (std::size_t c = 0; c < NumIntCols; ++c) {
-            const JsonValue *v = rv.member(IntCols[c]);
-            if (!v || !v->isNumber()) {
-                error = std::string("row missing numeric field '") +
-                    IntCols[c] + "'";
-                return false;
-            }
-            setIntField(row, c, v->u64());
-        }
-        table.add(std::move(row));
+        if (!rowFromJson(rv, row, error))
+            return false;
+        table.appendRow(std::move(row));
     }
     out = std::move(table);
     return true;
@@ -340,18 +435,7 @@ bool
 ResultTable::fromCsv(const std::string &text, ResultTable &out,
                      std::string &error)
 {
-    std::vector<std::string> lines;
-    std::string cur;
-    for (const char c : text) {
-        if (c == '\n') {
-            lines.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        lines.push_back(cur);
+    const std::vector<std::string> lines = splitCsvRecords(text);
     if (lines.empty()) {
         error = "empty csv";
         return false;
@@ -379,6 +463,10 @@ ResultTable::fromCsv(const std::string &text, ResultTable &out,
                 header[NumStringCols + c] + "'";
             return false;
         }
+    }
+    if (header.back() != "ipc") {
+        error = "unexpected csv header '" + header.back() + "'";
+        return false;
     }
 
     ResultTable table;
@@ -413,7 +501,13 @@ ResultTable::fromCsv(const std::string &text, ResultTable &out,
             }
             setIntField(row, c, v);
         }
-        table.add(std::move(row));
+        // The trailing ipc column is recomputed on emit, but reject
+        // tokens that are not numbers at all.
+        if (!validIpcToken(fields.back())) {
+            error = "bad ipc in csv row " + std::to_string(l);
+            return false;
+        }
+        table.appendRow(std::move(row));
     }
     out = std::move(table);
     return true;

@@ -23,6 +23,26 @@ namespace c3d::exp
 {
 
 struct RunSpec;
+class JsonValue;
+
+/**
+ * Canonical grid-point identity: the serialized identity columns
+ * joined with '|', in schema order. The single implementation
+ * behind ResultRow::identityKey() and specIdentityKey() -- the two
+ * must stay byte-identical or resume/merge would refuse (or fail to
+ * refuse) valid journals.
+ */
+std::string identityKeyOf(const std::string &workload,
+                          const std::string &variant,
+                          const std::string &design,
+                          const std::string &mapping,
+                          std::uint32_t sockets,
+                          std::uint32_t cores_per_socket,
+                          std::uint32_t scale,
+                          std::uint64_t dram_cache_mb,
+                          std::uint64_t warmup_ops,
+                          std::uint64_t measure_ops,
+                          std::uint64_t seed);
 
 /** Identity + metrics of one completed run. */
 struct ResultRow
@@ -53,13 +73,24 @@ struct ResultRow
 
     /** Equality on every serialized field (indices excluded). */
     bool sameAs(const ResultRow &o) const;
+
+    /**
+     * Canonical identity of the grid point this row measures: the
+     * identity columns joined with '|', matching specIdentityKey()
+     * of the RunSpec that produced the row. Two rows with equal
+     * keys are the same grid point and must carry equal metrics.
+     */
+    std::string identityKey() const;
 };
 
 /** An ordered collection of result rows. */
 class ResultTable
 {
   public:
-    void add(ResultRow row) { tableRows.push_back(std::move(row)); }
+    void appendRow(ResultRow row)
+    {
+        tableRows.push_back(std::move(row));
+    }
 
     /** Append all of @p other's rows (multi-grid studies). */
     void append(const ResultTable &other);
@@ -94,6 +125,22 @@ class ResultTable
 
     /** Serialized schema identifier. */
     static const char *schemaName();
+
+    // ---- per-row serialization (shared with the sweep journal) ---------
+
+    /**
+     * One row as a single-line JSON object, identical member order
+     * and formatting to the objects inside toJson().
+     */
+    static std::string rowToJson(const ResultRow &row);
+
+    /**
+     * Parse one row object (as emitted by rowToJson / toJson).
+     * Unknown members are ignored; every schema column plus a
+     * numeric "ipc" must be present. False + @p error on mismatch.
+     */
+    static bool rowFromJson(const JsonValue &obj, ResultRow &out,
+                            std::string &error);
 
   private:
     std::vector<ResultRow> tableRows;

@@ -18,6 +18,16 @@ SweepEngine::SweepEngine(unsigned jobs) : workerCount(jobs)
     }
 }
 
+bool
+SweepEngine::setShard(unsigned index, unsigned count)
+{
+    if (count == 0 || index >= count)
+        return false;
+    shardIdx = index;
+    shardCnt = count;
+    return true;
+}
+
 RunResult
 SweepEngine::simulateSpec(const RunSpec &spec)
 {
@@ -61,6 +71,29 @@ SweepEngine::run(const SweepGrid &grid, const RunFn &fn) const
 {
     const std::vector<RunSpec> specs = grid.expand();
     std::vector<ResultRow> rows(specs.size());
+    std::vector<char> present(specs.size(), 0);
+
+    // Partition the grid: specs outside this shard are absent from
+    // the result, prefilled specs land without re-executing, and
+    // the remainder goes to the worker pool.
+    std::vector<std::size_t> torun;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i % shardCnt != shardIdx)
+            continue;
+        const auto pre = prefilled.find(i);
+        if (pre != prefilled.end()) {
+            rows[i] = pre->second;
+            rows[i].workloadIdx = specs[i].workloadIdx;
+            rows[i].variantIdx = specs[i].variantIdx;
+            rows[i].designIdx = specs[i].designIdx;
+            rows[i].socketIdx = specs[i].socketIdx;
+            rows[i].dramIdx = specs[i].dramIdx;
+            rows[i].mappingIdx = specs[i].mappingIdx;
+            present[i] = 1;
+        } else {
+            torun.push_back(i);
+        }
+    }
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -68,23 +101,30 @@ SweepEngine::run(const SweepGrid &grid, const RunFn &fn) const
 
     auto worker = [&] {
         while (true) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= specs.size())
+            if (stopRequested && stopRequested())
                 return;
+            const std::size_t j =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (j >= torun.size())
+                return;
+            const std::size_t i = torun[j];
             const RunResult metrics = fn(specs[i]);
             rows[i] = makeRow(specs[i], metrics);
+            present[i] = 1;
             const std::size_t finished =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (progress) {
+            if (progress || rowSink) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
-                progress(specs[i], finished, specs.size());
+                if (rowSink)
+                    rowSink(specs[i], rows[i]);
+                if (progress)
+                    progress(specs[i], finished, torun.size());
             }
         }
     };
 
     const unsigned pool = static_cast<unsigned>(
-        std::min<std::size_t>(workerCount, specs.size()));
+        std::min<std::size_t>(workerCount, torun.size()));
     if (pool <= 1) {
         worker();
     } else {
@@ -97,8 +137,10 @@ SweepEngine::run(const SweepGrid &grid, const RunFn &fn) const
     }
 
     ResultTable table;
-    for (ResultRow &row : rows)
-        table.add(std::move(row));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (present[i])
+            table.appendRow(std::move(rows[i]));
+    }
     return table;
 }
 

@@ -13,6 +13,14 @@
  * Studies that do not run the timing simulator (e.g. the functional
  * capacity analyses behind Fig. 3) supply a custom run function and
  * still get the pool, the ordering guarantee, and the emitters.
+ *
+ * For distributed and resumable sweeps the engine additionally
+ * supports a shard filter (run only specs with index % N == K),
+ * prefilled rows (skip grid points already completed by an earlier,
+ * journaled run), a row sink (invoked serially as each row
+ * completes, backing the crash-safe journal), and a cooperative
+ * stop request (workers stop claiming new specs; claimed runs
+ * finish). See docs/sweeps.md "Distributing and resuming sweeps".
  */
 
 #ifndef C3DSIM_EXP_SWEEP_ENGINE_HH
@@ -20,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "exp/result_table.hh"
 #include "exp/sweep_grid.hh"
@@ -37,9 +46,19 @@ class SweepEngine
     /**
      * Progress callback, invoked serially (under an internal lock)
      * after each run completes: (spec, done_count, total_count).
+     * The counts cover the specs this engine actually executes
+     * (after shard filtering and prefill skips).
      */
     using ProgressFn = std::function<void(
         const RunSpec &, std::size_t, std::size_t)>;
+
+    /**
+     * Row sink, invoked serially (under the same lock as the
+     * progress callback) with each freshly-executed row, in
+     * completion order. Prefilled rows are not re-reported.
+     */
+    using RowFn =
+        std::function<void(const RunSpec &, const ResultRow &)>;
 
     /** @param jobs worker threads; 0 = hardware concurrency. */
     explicit SweepEngine(unsigned jobs = 1);
@@ -47,6 +66,41 @@ class SweepEngine
     unsigned jobs() const { return workerCount; }
 
     void setProgress(ProgressFn fn) { progress = std::move(fn); }
+
+    void setRowSink(RowFn fn) { rowSink = std::move(fn); }
+
+    /**
+     * Restrict execution to shard @p index of @p count: only specs
+     * with `spec.index % count == index` run, so the shards of a
+     * grid are disjoint and together exhaustive. Returns false
+     * (and leaves the filter unchanged) unless index < count.
+     */
+    bool setShard(unsigned index, unsigned count);
+
+    unsigned shardIndex() const { return shardIdx; }
+    unsigned shardCount() const { return shardCnt; }
+
+    /**
+     * Supply rows for grid points completed by an earlier run
+     * (keyed by spec ordinal). Those specs are not re-executed;
+     * their rows land in the result table as-is, with axis indices
+     * restored from the spec.
+     */
+    void setPrefilled(std::unordered_map<std::size_t, ResultRow> rows)
+    {
+        prefilled = std::move(rows);
+    }
+
+    /**
+     * Cooperative interruption: checked before each spec is
+     * claimed. Once it returns true, workers stop claiming; runs
+     * already in flight complete (and still reach the row sink),
+     * and run() returns the partial table.
+     */
+    void setStopRequest(std::function<bool()> fn)
+    {
+        stopRequested = std::move(fn);
+    }
 
     /** Run every grid point through the timing simulator. */
     ResultTable run(const SweepGrid &grid) const;
@@ -66,7 +120,12 @@ class SweepEngine
 
   private:
     unsigned workerCount;
+    unsigned shardIdx = 0;
+    unsigned shardCnt = 1;
     ProgressFn progress;
+    RowFn rowSink;
+    std::unordered_map<std::size_t, ResultRow> prefilled;
+    std::function<bool()> stopRequested;
 };
 
 } // namespace c3d::exp

@@ -1,7 +1,42 @@
 #include "exp/sweep_grid.hh"
 
+#include <cinttypes>
+#include <cstdio>
+
+#include "exp/result_table.hh"
+
 namespace c3d::exp
 {
+
+std::string
+specIdentityKey(const RunSpec &spec)
+{
+    return identityKeyOf(spec.profile.name, spec.variantName,
+                         designName(spec.cfg.design),
+                         mappingPolicyName(spec.cfg.mapping),
+                         spec.cfg.numSockets,
+                         spec.cfg.coresPerSocket, spec.scale,
+                         spec.dramCacheMb, spec.warmupOps,
+                         spec.measureOps, spec.profile.seed);
+}
+
+std::string
+gridFingerprint(const std::vector<RunSpec> &specs)
+{
+    std::uint64_t h = 14695981039346656037ull; // FNV offset basis
+    const auto mix = [&h](const char c) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull; // FNV prime
+    };
+    for (const RunSpec &spec : specs) {
+        for (const char c : specIdentityKey(spec))
+            mix(c);
+        mix('\n');
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
+}
 
 std::uint64_t
 autoWarmupOps(const WorkloadProfile &unscaled, std::uint64_t base)

@@ -93,6 +93,23 @@ struct SweepGrid
 };
 
 /**
+ * Canonical identity of a grid point: the serialized identity
+ * columns (workload through seed, docs/sweeps.md order) joined with
+ * '|'. Equal to ResultRow::identityKey() for the row a run of this
+ * spec produces, so journals and result tables can be matched back
+ * to the specs that generated them.
+ */
+std::string specIdentityKey(const RunSpec &spec);
+
+/**
+ * FNV-1a 64 digest (16 hex digits) over every spec's identity key,
+ * in expansion order. Two grids share a fingerprint iff they expand
+ * to the same run specs, so shard journals can refuse to merge with
+ * output from a different grid.
+ */
+std::string gridFingerprint(const std::vector<RunSpec> &specs);
+
+/**
  * Default warm-up quota for @p unscaled: scan-dominated workloads
  * need the rotating partition to cover each socket's DRAM cache
  * before measuring (mirrors the paper's 100M-access warm-up).

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Property/fuzz tests for the sweep journal reader and merger: a
+ * journal truncated at ANY byte must either recover cleanly (crash
+ * artifact in the final line) or fail loudly (corruption anywhere
+ * else); duplicates collapse only when identical; merge refuses
+ * gaps, cross-grid mixes, and identity collisions -- a grid point
+ * is never silently dropped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "exp/journal.hh"
+#include "exp/sweep_engine.hh"
+#include "test_helpers.hh"
+
+namespace c3d
+{
+namespace
+{
+
+/** Fixed synthetic grid; rows come from a fake metrics function. */
+exp::SweepGrid
+journalGrid()
+{
+    exp::SweepGrid grid;
+    grid.workloads = {profileByName("facesim"),
+                      profileByName("canneal")};
+    grid.designs = {Design::Baseline, Design::C3D};
+    grid.sockets = {2, 4};
+    grid.warmupOps = 100;
+    grid.measureOps = 400;
+    return grid;
+}
+
+RunResult
+fakeMetrics(std::size_t index)
+{
+    RunResult m;
+    m.measuredTicks = 1000 + 13 * index;
+    m.instructions = 500 + index;
+    m.memReads = 7 * index;
+    m.interSocketBytes = (1ull << 54) + index; // above double precision
+    m.broadcastsElided = index % 3;
+    return m;
+}
+
+struct TestJournal
+{
+    std::vector<exp::RunSpec> specs;
+    std::vector<exp::ResultRow> rows;
+    std::string fingerprint;
+    std::string text; //!< header + one line per row, in order
+};
+
+TestJournal
+buildJournal()
+{
+    TestJournal j;
+    j.specs = journalGrid().expand();
+    j.fingerprint = exp::gridFingerprint(j.specs);
+    j.text = exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    for (const exp::RunSpec &spec : j.specs) {
+        j.rows.push_back(
+            exp::SweepEngine::makeRow(spec, fakeMetrics(spec.index)));
+        j.text += exp::journalEntryLine(spec.index, j.rows.back());
+    }
+    return j;
+}
+
+TEST(Journal, RoundTripsThroughWriterAndReader)
+{
+    const TestJournal j = buildJournal();
+    const std::string path =
+        testing::TempDir() + "c3d_journal_roundtrip.jsonl";
+
+    exp::JournalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.create(path, j.specs.size(), j.fingerprint,
+                              error)) << error;
+    for (std::size_t i = 0; i < j.rows.size(); ++i)
+        ASSERT_TRUE(writer.append(i, j.rows[i], error)) << error;
+    writer.close();
+
+    exp::JournalData data;
+    ASSERT_TRUE(exp::readJournalFile(path, data, error)) << error;
+    EXPECT_EQ(data.total, j.specs.size());
+    EXPECT_EQ(data.fingerprint, j.fingerprint);
+    EXPECT_FALSE(data.truncatedTail);
+    ASSERT_EQ(data.entries.size(), j.rows.size());
+    for (std::size_t i = 0; i < j.rows.size(); ++i) {
+        EXPECT_EQ(data.entries[i].index, i);
+        EXPECT_TRUE(data.entries[i].row.sameAs(j.rows[i]));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Journal, EveryTruncationPointRecoversOrFailsLoudly)
+{
+    const TestJournal j = buildJournal();
+    const std::size_t header_len = j.text.find('\n') + 1;
+
+    // Line start offsets of each entry, to count complete lines.
+    std::vector<std::size_t> line_ends;
+    for (std::size_t i = header_len; i < j.text.size(); ++i) {
+        if (j.text[i] == '\n')
+            line_ends.push_back(i + 1);
+    }
+
+    for (std::size_t len = 0; len < j.text.size(); ++len) {
+        const std::string cut = j.text.substr(0, len);
+        exp::JournalData data;
+        std::string error;
+        const bool ok = exp::parseJournal(cut, data, error);
+        if (len < header_len) {
+            // Header damaged: must fail loudly.
+            EXPECT_FALSE(ok) << "len=" << len;
+            EXPECT_FALSE(error.empty());
+            continue;
+        }
+        ASSERT_TRUE(ok) << "len=" << len << ": " << error;
+
+        std::size_t complete = 0;
+        while (complete < line_ends.size() &&
+               line_ends[complete] <= len)
+            ++complete;
+
+        // Only fully newline-terminated lines count: a mid-line
+        // cut (even one that leaves parseable JSON) is dropped and
+        // reported, matching what openAppend trims.
+        ASSERT_EQ(data.entries.size(), complete) << "len=" << len;
+        const bool at_boundary = cut.back() == '\n';
+        EXPECT_EQ(data.truncatedTail, !at_boundary)
+            << "len=" << len;
+
+        // Recovered entries are never corrupted: each must equal
+        // the original row at its ordinal, in file order.
+        for (std::size_t i = 0; i < data.entries.size(); ++i) {
+            EXPECT_EQ(data.entries[i].index, i);
+            EXPECT_TRUE(data.entries[i].row.sameAs(j.rows[i]))
+                << "len=" << len << " entry=" << i;
+        }
+    }
+}
+
+TEST(Journal, AppendAfterTornTailYieldsCleanJournal)
+{
+    // Crash-then-resume on the file itself: openAppend must trim
+    // the torn bytes so the re-run row starts on a fresh line and
+    // the journal stays parseable end to end.
+    const TestJournal j = buildJournal();
+    const std::string path =
+        testing::TempDir() + "c3d_journal_torn.jsonl";
+
+    exp::JournalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.create(path, j.specs.size(), j.fingerprint,
+                              error)) << error;
+    for (std::size_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(writer.append(i, j.rows[i], error)) << error;
+    writer.close();
+
+    // Simulate a crash mid-append of row 4.
+    const std::string torn =
+        exp::journalEntryLine(4, j.rows[4]).substr(0, 25);
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(torn.data(), 1, torn.size(), f),
+              torn.size());
+    std::fclose(f);
+
+    exp::JournalWriter resumed;
+    ASSERT_TRUE(resumed.openAppend(path, error)) << error;
+    for (std::size_t i = 4; i < j.rows.size(); ++i)
+        ASSERT_TRUE(resumed.append(i, j.rows[i], error)) << error;
+    resumed.close();
+
+    exp::JournalData data;
+    ASSERT_TRUE(exp::readJournalFile(path, data, error)) << error;
+    EXPECT_FALSE(data.truncatedTail);
+    ASSERT_EQ(data.entries.size(), j.rows.size());
+    for (std::size_t i = 0; i < j.rows.size(); ++i) {
+        EXPECT_EQ(data.entries[i].index, i);
+        EXPECT_TRUE(data.entries[i].row.sameAs(j.rows[i]));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Journal, IdenticalDuplicateRowsCollapse)
+{
+    const TestJournal j = buildJournal();
+    // Re-append copies of lines 2 and 5 (e.g. a retried shard).
+    std::string text = j.text;
+    text += exp::journalEntryLine(2, j.rows[2]);
+    text += exp::journalEntryLine(5, j.rows[5]);
+
+    exp::JournalData data;
+    std::string error;
+    ASSERT_TRUE(exp::parseJournal(text, data, error)) << error;
+    ASSERT_EQ(data.entries.size(), j.rows.size());
+    for (std::size_t i = 0; i < j.rows.size(); ++i)
+        EXPECT_TRUE(data.entries[i].row.sameAs(j.rows[i]));
+}
+
+TEST(Journal, ConflictingDuplicateFailsLoudly)
+{
+    const TestJournal j = buildJournal();
+    exp::ResultRow tampered = j.rows[4];
+    tampered.metrics.instructions += 1;
+    const std::string text =
+        j.text + exp::journalEntryLine(4, tampered);
+
+    exp::JournalData data;
+    std::string error;
+    EXPECT_FALSE(exp::parseJournal(text, data, error));
+    EXPECT_NE(error.find("grid point 4"), std::string::npos)
+        << error;
+}
+
+TEST(Journal, MalformedMiddleLineFailsLoudly)
+{
+    const TestJournal j = buildJournal();
+    // Corrupt the third entry line but keep its newline: this is
+    // not a crash artifact, so it must not be skipped.
+    std::string text =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    for (std::size_t i = 0; i < j.rows.size(); ++i) {
+        if (i == 2)
+            text += "{\"index\": 2, \"row\": garbage}\n";
+        else
+            text += exp::journalEntryLine(i, j.rows[i]);
+    }
+    exp::JournalData data;
+    std::string error;
+    EXPECT_FALSE(exp::parseJournal(text, data, error));
+    EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+}
+
+TEST(Journal, HeaderValidation)
+{
+    const TestJournal j = buildJournal();
+    exp::JournalData data;
+    std::string error;
+
+    EXPECT_FALSE(exp::parseJournal("", data, error));
+    EXPECT_FALSE(exp::parseJournal("not json\n", data, error));
+    EXPECT_FALSE(exp::parseJournal(
+        "{\"schema\": \"bogus/v9\", \"total\": 1, \"grid\": \"x\"}\n",
+        data, error));
+    EXPECT_FALSE(exp::parseJournal(
+        "{\"schema\": \"c3d-sweep-journal/v1\", \"grid\": \"x\"}\n",
+        data, error));
+
+    // Header-only journals are valid (a sweep that crashed before
+    // its first row completed) and merge to "everything missing".
+    const std::string header_only =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    ASSERT_TRUE(exp::parseJournal(header_only, data, error)) << error;
+    EXPECT_TRUE(data.entries.empty());
+    exp::ResultTable merged;
+    EXPECT_FALSE(exp::mergeJournals({data}, merged, error));
+    EXPECT_NE(error.find("grid point 0 missing"), std::string::npos)
+        << error;
+}
+
+TEST(Journal, MergesInterleavedShardJournals)
+{
+    const TestJournal j = buildJournal();
+    std::vector<exp::JournalData> parts(3);
+    for (unsigned k = 0; k < 3; ++k) {
+        std::string text =
+            exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+        // Emit this shard's rows in reverse completion order to
+        // prove ordering comes from ordinals, not file position.
+        for (std::size_t i = j.rows.size(); i-- > 0;) {
+            if (i % 3 == k)
+                text += exp::journalEntryLine(i, j.rows[i]);
+        }
+        std::string error;
+        ASSERT_TRUE(exp::parseJournal(text, parts[k], error))
+            << error;
+    }
+
+    exp::ResultTable merged;
+    std::string error;
+    ASSERT_TRUE(exp::mergeJournals(parts, merged, error)) << error;
+    ASSERT_EQ(merged.size(), j.rows.size());
+    for (std::size_t i = 0; i < j.rows.size(); ++i)
+        EXPECT_TRUE(merged.rows()[i].sameAs(j.rows[i]));
+
+    // The merged table serializes exactly like a table built in
+    // grid order directly.
+    exp::ResultTable direct;
+    for (const exp::ResultRow &row : j.rows)
+        direct.appendRow(row);
+    EXPECT_EQ(direct.toJson(), merged.toJson());
+    EXPECT_EQ(direct.toCsv(), merged.toCsv());
+}
+
+TEST(Journal, MergeAcceptsDuplicateGridPointsWithEqualRows)
+{
+    // A grid with a repeated axis value (e.g. --sockets=2,2) has
+    // two ordinals with the same identity; the deterministic
+    // simulator gives them identical rows, and merge must accept
+    // that, or such grids could run single-process but never
+    // distributed.
+    const TestJournal j = buildJournal();
+    std::string text = exp::journalHeaderLine(2, j.fingerprint);
+    text += exp::journalEntryLine(0, j.rows[3]);
+    text += exp::journalEntryLine(1, j.rows[3]);
+    exp::JournalData data;
+    std::string error;
+    ASSERT_TRUE(exp::parseJournal(text, data, error)) << error;
+
+    exp::ResultTable merged;
+    ASSERT_TRUE(exp::mergeJournals({data}, merged, error)) << error;
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_TRUE(merged.rows()[0].sameAs(j.rows[3]));
+    EXPECT_TRUE(merged.rows()[1].sameAs(j.rows[3]));
+}
+
+TEST(Journal, MergeRefusesMissingGridPoint)
+{
+    const TestJournal j = buildJournal();
+    std::string text =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    for (std::size_t i = 0; i < j.rows.size(); ++i) {
+        if (i != 3)
+            text += exp::journalEntryLine(i, j.rows[i]);
+    }
+    exp::JournalData data;
+    std::string error;
+    ASSERT_TRUE(exp::parseJournal(text, data, error)) << error;
+
+    exp::ResultTable merged;
+    EXPECT_FALSE(exp::mergeJournals({data}, merged, error));
+    EXPECT_NE(error.find("grid point 3 missing"), std::string::npos)
+        << error;
+}
+
+TEST(Journal, MergeRefusesCrossGridAndCollisions)
+{
+    const TestJournal j = buildJournal();
+    exp::JournalData a, b;
+    std::string error;
+    ASSERT_TRUE(exp::parseJournal(j.text, a, error)) << error;
+
+    // Different fingerprint: a journal from another grid.
+    std::string other =
+        exp::journalHeaderLine(j.specs.size(), "deadbeefdeadbeef");
+    ASSERT_TRUE(exp::parseJournal(other, b, error)) << error;
+    exp::ResultTable merged;
+    EXPECT_FALSE(exp::mergeJournals({a, b}, merged, error));
+    EXPECT_NE(error.find("different grids"), std::string::npos)
+        << error;
+
+    // Conflicting metrics for the same ordinal across journals.
+    exp::ResultRow tampered = j.rows[6];
+    tampered.metrics.measuredTicks += 1;
+    std::string conflict =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    conflict += exp::journalEntryLine(6, tampered);
+    ASSERT_TRUE(exp::parseJournal(conflict, b, error)) << error;
+    EXPECT_FALSE(exp::mergeJournals({a, b}, merged, error));
+    EXPECT_NE(error.find("grid point 6"), std::string::npos) << error;
+
+    // Same identity with different metrics under two ordinals:
+    // identity collision (two journals claim different grid points
+    // measured the same identity, and disagree).
+    exp::ResultRow clash = j.rows[1];
+    clash.metrics.memWrites += 9;
+    std::string dup_a =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    dup_a += exp::journalEntryLine(1, j.rows[1]);
+    std::string dup_b =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    dup_b += exp::journalEntryLine(7, clash);
+    exp::JournalData da, db;
+    ASSERT_TRUE(exp::parseJournal(dup_a, da, error)) << error;
+    ASSERT_TRUE(exp::parseJournal(dup_b, db, error)) << error;
+    EXPECT_FALSE(exp::mergeJournals({da, db}, merged, error));
+    EXPECT_NE(error.find("identity collision"), std::string::npos)
+        << error;
+
+    // Ordinal outside the grid.
+    std::string range =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    range += exp::journalEntryLine(j.specs.size() + 5, j.rows[0]);
+    ASSERT_TRUE(exp::parseJournal(range, b, error)) << error;
+    EXPECT_FALSE(exp::mergeJournals({b}, merged, error));
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+} // namespace
+} // namespace c3d

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/log.hh"
 #include "exp/json.hh"
 #include "exp/sweep_engine.hh"
@@ -252,6 +254,75 @@ TEST(ResultTable, RejectsMalformedInput)
     negative.replace(negative.find(",4,"), 3, ",-4,");
     EXPECT_FALSE(exp::ResultTable::fromCsv(header + negative + "\n",
                                            parsed, error));
+}
+
+TEST(ResultTable, CsvRoundTripsQuotedSpecials)
+{
+    // Emitters quote fields containing commas, quotes, and
+    // newlines; the parser must accept exactly what was emitted
+    // (including a record that spans physical lines), or journals
+    // could never round-trip such names.
+    exp::ResultRow row;
+    row.workload = "name,with,commas";
+    row.variant = "multi\nline \"quoted\"";
+    row.design = "c3d";
+    row.mapping = "FT2";
+    row.sockets = 4;
+    row.metrics.instructions = 10;
+    row.metrics.measuredTicks = 5;
+    exp::ResultTable table;
+    table.appendRow(row);
+
+    const std::string csv = table.toCsv();
+    exp::ResultTable parsed;
+    std::string error;
+    ASSERT_TRUE(exp::ResultTable::fromCsv(csv, parsed, error))
+        << error;
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed.rows()[0].workload, row.workload);
+    EXPECT_EQ(parsed.rows()[0].variant, row.variant);
+    EXPECT_TRUE(table.sameRows(parsed));
+    EXPECT_EQ(parsed.toCsv(), csv);
+
+    const std::string json = table.toJson();
+    ASSERT_TRUE(exp::ResultTable::fromJson(json, parsed, error))
+        << error;
+    EXPECT_TRUE(table.sameRows(parsed));
+    EXPECT_EQ(parsed.toJson(), json);
+}
+
+TEST(ResultTable, RejectsBadIpcColumn)
+{
+    exp::ResultTable parsed;
+    std::string error;
+
+    // CSV: the derived ipc column is recomputed on emit, but a
+    // non-numeric token or a renamed header is not our schema.
+    const std::string header = exp::ResultTable().toCsv();
+    const std::string good =
+        "w,,c3d,FT2,4,8,32,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,1.0";
+    ASSERT_TRUE(exp::ResultTable::fromCsv(header + good + "\n",
+                                          parsed, error)) << error;
+    std::string bad_field = good;
+    bad_field.replace(bad_field.rfind(",1.0"), 4, ",oops");
+    EXPECT_FALSE(exp::ResultTable::fromCsv(header + bad_field + "\n",
+                                           parsed, error));
+    std::string bad_header = header;
+    bad_header.replace(bad_header.find(",ipc"), 4, ",abc");
+    EXPECT_FALSE(exp::ResultTable::fromCsv(bad_header + good + "\n",
+                                           parsed, error));
+
+    // JSON: a row object without a numeric ipc member is rejected.
+    exp::ResultTable table;
+    exp::ResultRow row;
+    row.design = "c3d";
+    table.appendRow(row);
+    std::string json = table.toJson();
+    const std::size_t at = json.find(", \"ipc\": 0}");
+    ASSERT_NE(at, std::string::npos);
+    json.replace(at, std::strlen(", \"ipc\": 0"), "");
+    EXPECT_FALSE(exp::ResultTable::fromJson(json, parsed, error));
+    EXPECT_NE(error.find("ipc"), std::string::npos) << error;
 }
 
 TEST(ResultTable, RoundTripsCountersAboveDoublePrecision)

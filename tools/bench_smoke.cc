@@ -6,10 +6,16 @@
  * Usage:  bench-smoke <mode> <binary> [args...]
  *
  * Modes:
- *   table  stdout must parse as the c3d-sweep/v1 result schema and
- *          contain at least one row (sweep-engine benches).
- *   json   stdout must parse as any non-empty JSON value (benches
- *          with their own schema: google-benchmark, analytic tables).
+ *   table      stdout must parse as the c3d-sweep/v1 result schema
+ *              and contain at least one row (sweep-engine benches).
+ *   json       stdout must parse as any non-empty JSON value
+ *              (benches with their own schema: google-benchmark,
+ *              analytic tables).
+ *   sweep-cli  <binary> is the c3d-sweep tool: exercise the
+ *              distributed-execution CLI end to end (whole run vs
+ *              --shard x3 + merge vs partial --journal + --resume)
+ *              and assert the JSON and CSV artifacts are
+ *              byte-identical.
  *
  * Exit status 0 on success; 1 with a diagnostic on any failure. The
  * CTest smoke suite registers one invocation per bench binary.
@@ -17,8 +23,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include <unistd.h>
+
+#include "exp/journal.hh"
 #include "exp/json.hh"
 #include "exp/result_table.hh"
 
@@ -40,6 +51,162 @@ shellQuote(const std::string &arg)
     return out;
 }
 
+/** Run a command, capture stdout; false on nonzero exit. */
+bool
+runCommand(const std::string &command, std::string &output)
+{
+    output.clear();
+    FILE *pipe = popen(command.c_str(), "r");
+    if (!pipe) {
+        std::fprintf(stderr, "bench-smoke: cannot run: %s\n",
+                     command.c_str());
+        return false;
+    }
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        output.append(buf, n);
+    const int status = pclose(pipe);
+    if (status != 0) {
+        std::fprintf(stderr,
+                     "bench-smoke: command exited with status %d: "
+                     "%s\n",
+                     status, command.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::string error;
+    if (c3d::exp::readTextFile(path, out, error) !=
+        c3d::exp::ReadFile::Ok) {
+        std::fprintf(stderr, "bench-smoke: %s\n", error.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * End-to-end check of c3d-sweep's distribution features: the merged
+ * shard journals and an interrupted-then-resumed run must reproduce
+ * the single-process artifacts byte for byte.
+ */
+int
+sweepCliCheck(const std::string &sweep_binary)
+{
+    const char *env = std::getenv("TMPDIR");
+    std::string dir = (env && *env) ? env : "/tmp";
+    dir += "/c3d_sweep_smoke_XXXXXX";
+    std::vector<char> tmpl(dir.begin(), dir.end());
+    tmpl.push_back('\0');
+    if (!mkdtemp(tmpl.data())) {
+        std::fprintf(stderr, "bench-smoke: mkdtemp failed\n");
+        return 1;
+    }
+    dir.assign(tmpl.data());
+
+    const std::string sweep = shellQuote(sweep_binary);
+    const std::string grid =
+        " --quick --designs=baseline,c3d"
+        " --workloads=facesim,canneal --sockets=2,4 --jobs=2";
+    std::vector<std::string> cleanup;
+    std::string out;
+    int rc = 1;
+
+    const auto path = [&](const char *name) {
+        const std::string p = dir + "/" + name;
+        cleanup.push_back(p);
+        return p;
+    };
+    const std::string whole_json = path("whole.json");
+    const std::string whole_csv = path("whole.csv");
+
+    do {
+        // Single-process baselines.
+        if (!runCommand(sweep + grid + " --out=" +
+                        shellQuote(whole_json), out) ||
+            !runCommand(sweep + grid + " --format=csv --out=" +
+                        shellQuote(whole_csv), out))
+            break;
+
+        // Three disjoint shards, one journal each, then merge.
+        std::string merge_args;
+        bool shard_ok = true;
+        for (int k = 0; k < 3 && shard_ok; ++k) {
+            const std::string journal =
+                path(("shard" + std::to_string(k) + ".jsonl")
+                         .c_str());
+            shard_ok = runCommand(
+                sweep + grid + " --shard=" + std::to_string(k) +
+                    "/3 --journal=" + shellQuote(journal) +
+                    " --out=/dev/null",
+                out);
+            merge_args += " " + shellQuote(journal);
+        }
+        if (!shard_ok)
+            break;
+        const std::string merged_json = path("merged.json");
+        const std::string merged_csv = path("merged.csv");
+        if (!runCommand(sweep + " merge --out=" +
+                        shellQuote(merged_json) + merge_args, out) ||
+            !runCommand(sweep + " merge --format=csv --out=" +
+                        shellQuote(merged_csv) + merge_args, out))
+            break;
+
+        // Interrupted run stand-in: journal only half the grid,
+        // then --resume completes the remainder.
+        const std::string resume_journal = path("resume.jsonl");
+        const std::string resumed_json = path("resumed.json");
+        if (!runCommand(sweep + grid + " --shard=0/2 --journal=" +
+                        shellQuote(resume_journal) +
+                        " --out=/dev/null", out) ||
+            !runCommand(sweep + grid + " --resume=" +
+                        shellQuote(resume_journal) + " --out=" +
+                        shellQuote(resumed_json), out))
+            break;
+
+        std::string whole, other;
+        if (!readFile(whole_json, whole))
+            break;
+        if (whole.empty()) {
+            std::fprintf(stderr,
+                         "bench-smoke: empty sweep artifact\n");
+            break;
+        }
+        bool identical = true;
+        for (const std::string &p : {merged_json, resumed_json}) {
+            if (!readFile(p, other) || other != whole) {
+                std::fprintf(stderr,
+                             "bench-smoke: '%s' differs from the "
+                             "single-process artifact\n",
+                             p.c_str());
+                identical = false;
+            }
+        }
+        if (!readFile(whole_csv, whole) ||
+            !readFile(merged_csv, other) || whole.empty() ||
+            other != whole) {
+            std::fprintf(stderr,
+                         "bench-smoke: merged CSV differs from the "
+                         "single-process artifact\n");
+            identical = false;
+        }
+        if (!identical)
+            break;
+        std::printf("ok: shard+merge and resume artifacts are "
+                    "byte-identical\n");
+        rc = 0;
+    } while (false);
+
+    for (const std::string &p : cleanup)
+        std::remove(p.c_str());
+    rmdir(dir.c_str());
+    return rc;
+}
+
 } // namespace
 
 int
@@ -47,11 +214,13 @@ main(int argc, char **argv)
 {
     if (argc < 3) {
         std::fprintf(stderr,
-                     "usage: bench-smoke <table|json> <binary> "
-                     "[args...]\n");
+                     "usage: bench-smoke <table|json|sweep-cli> "
+                     "<binary> [args...]\n");
         return 2;
     }
     const std::string mode = argv[1];
+    if (mode == "sweep-cli")
+        return sweepCliCheck(argv[2]);
     if (mode != "table" && mode != "json") {
         std::fprintf(stderr, "bench-smoke: unknown mode '%s'\n",
                      mode.c_str());
@@ -65,25 +234,9 @@ main(int argc, char **argv)
         command += shellQuote(argv[i]);
     }
 
-    FILE *pipe = popen(command.c_str(), "r");
-    if (!pipe) {
-        std::fprintf(stderr, "bench-smoke: cannot run: %s\n",
-                     command.c_str());
-        return 1;
-    }
     std::string output;
-    char buf[4096];
-    std::size_t n;
-    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
-        output.append(buf, n);
-    const int status = pclose(pipe);
-    if (status != 0) {
-        std::fprintf(stderr,
-                     "bench-smoke: command exited with status %d: "
-                     "%s\n",
-                     status, command.c_str());
+    if (!runCommand(command, output))
         return 1;
-    }
     if (output.empty()) {
         std::fprintf(stderr, "bench-smoke: empty output from: %s\n",
                      command.c_str());

@@ -9,12 +9,25 @@
  * Rows are ordered by grid expansion, never by completion, so output
  * is byte-identical for any --jobs value.
  *
+ * Distributed/resumable execution (docs/sweeps.md): `--shard=K/N`
+ * runs the K-th of N disjoint slices of the grid, `--journal=FILE`
+ * checkpoints each completed row to a crash-safe JSONL sidecar,
+ * `--resume=FILE` skips rows the journal already holds, and the
+ * `merge` subcommand combines shard journals into the single-process
+ * result table, byte for byte.
+ *
  * Examples:
  *   c3d-sweep --designs=baseline,c3d --workloads=facesim,canneal
  *   c3d-sweep --workloads=all --sockets=2,4 --jobs=8 --format=csv
  *   c3d-sweep --designs=c3d --dram-cache-mb=256,512,1024 --out=r.json
+ *   c3d-sweep --workloads=all --shard=0/3 --journal=s0.jsonl
+ *   c3d-sweep --workloads=all --resume=sweep.jsonl --out=r.json
+ *   c3d-sweep merge --out=r.json s0.jsonl s1.jsonl s2.jsonl
  */
 
+#include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +36,7 @@
 
 #include "common/cli.hh"
 #include "common/log.hh"
+#include "exp/journal.hh"
 #include "exp/sweep_engine.hh"
 
 namespace
@@ -55,7 +69,25 @@ const char *const Usage =
     "  --format=json|csv|table   (default json)\n"
     "  --out=FILE             write to FILE instead of stdout\n"
     "  --progress             report per-run progress on stderr\n"
-    "  --help\n";
+    "  --help\n"
+    "\n"
+    "distribution and checkpointing:\n"
+    "  --shard=K/N            run only grid points with index%N == K\n"
+    "                         (K in 0..N-1, N <= 4096; shards are\n"
+    "                         disjoint and together cover the grid)\n"
+    "  --journal=FILE         append each completed row to a fresh\n"
+    "                         crash-safe JSONL journal (refuses an\n"
+    "                         existing file; SIGINT stops cleanly)\n"
+    "  --resume=FILE          continue a journaled run: rows already\n"
+    "                         in FILE are not re-run; new rows are\n"
+    "                         appended (creates FILE when absent)\n"
+    "\n"
+    "merge subcommand:\n"
+    "  c3d-sweep merge [--format=json|csv|table] [--out=FILE] \\\n"
+    "                  JOURNAL...\n"
+    "  Combine journals of the same grid (e.g. one per shard) into\n"
+    "  the complete result table in grid order; refuses conflicting\n"
+    "  duplicates and missing grid points.\n";
 
 struct SweepCli
 {
@@ -67,7 +99,41 @@ struct SweepCli
     bool quick = false;
     bool showHelp = false;
     std::string error;
+
+    // Distribution and checkpointing.
+    unsigned shardIdx = 0;
+    unsigned shardCnt = 1;
+    std::string journalFile; //!< --journal (fresh)
+    std::string resumeFile;  //!< --resume (continue)
 };
+
+/** Parsed `c3d-sweep merge` command line. */
+struct MergeCli
+{
+    std::vector<std::string> journals;
+    std::string format = "json";
+    std::string outFile;
+    bool showHelp = false;
+    std::string error;
+};
+
+/** "K/N" with K < N and N >= 1. */
+bool
+parseShard(const std::string &value, unsigned &idx, unsigned &cnt)
+{
+    const std::size_t slash = value.find('/');
+    if (slash == std::string::npos)
+        return false;
+    std::uint64_t k = 0, n = 0;
+    if (!c3d::parseU64(value.substr(0, slash), k) ||
+        !c3d::parseU64(value.substr(slash + 1), n))
+        return false;
+    if (n < 1 || n > 4096 || k >= n)
+        return false;
+    idx = static_cast<unsigned>(k);
+    cnt = static_cast<unsigned>(n);
+    return true;
+}
 
 bool
 parseWorkloads(const std::string &value,
@@ -211,12 +277,27 @@ parseSweepCli(int argc, char **argv)
             cli.progress = true;
         } else if (key == "quick") {
             cli.quick = true;
+        } else if (key == "shard") {
+            if (!parseShard(value, cli.shardIdx, cli.shardCnt)) {
+                cli.error = "bad shard '" + value +
+                    "' (want K/N with K < N and N <= 4096)";
+                return cli;
+            }
+        } else if (key == "journal") {
+            cli.journalFile = value;
+        } else if (key == "resume") {
+            cli.resumeFile = value;
         } else {
             cli.error = "unknown flag '--" + key + "'";
             return cli;
         }
     }
 
+    if (!cli.journalFile.empty() && !cli.resumeFile.empty()) {
+        cli.error = "--journal and --resume are mutually exclusive "
+                    "(--resume already appends to its journal)";
+        return cli;
+    }
     if (cli.grid.sockets.empty()) {
         cli.error = "empty socket list";
         return cli;
@@ -231,6 +312,42 @@ parseSweepCli(int argc, char **argv)
     }
     if (cli.quick)
         cli.grid = exp::quickPreset(std::move(cli.grid));
+    return cli;
+}
+
+MergeCli
+parseMergeCli(int argc, char **argv)
+{
+    MergeCli cli;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            cli.journals.push_back(arg);
+            continue;
+        }
+        std::string key, value;
+        if (!splitFlag(argv[i], key, value)) {
+            cli.error = "unexpected argument '" + arg + "'";
+            return cli;
+        }
+        if (key == "help") {
+            cli.showHelp = true;
+        } else if (key == "format") {
+            if (value != "json" && value != "csv" &&
+                value != "table") {
+                cli.error = "unknown format '" + value + "'";
+                return cli;
+            }
+            cli.format = value;
+        } else if (key == "out") {
+            cli.outFile = value;
+        } else {
+            cli.error = "unknown flag '--" + key + "'";
+            return cli;
+        }
+    }
+    if (cli.journals.empty() && !cli.showHelp)
+        cli.error = "merge needs at least one journal file";
     return cli;
 }
 
@@ -257,11 +374,110 @@ printHumanTable(const exp::ResultTable &table)
     }
 }
 
+/** Emit @p table in @p format to @p out_file or stdout. */
+int
+emitTable(const exp::ResultTable &table, const std::string &format,
+          const std::string &out_file)
+{
+    std::string payload;
+    if (format == "json")
+        payload = table.toJson();
+    else if (format == "csv")
+        payload = table.toCsv();
+
+    if (!out_file.empty()) {
+        std::ofstream out(out_file, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "c3d-sweep: cannot write '%s'\n",
+                         out_file.c_str());
+            return 1;
+        }
+        out << payload;
+        return 0;
+    }
+
+    if (format == "table")
+        printHumanTable(table);
+    else
+        std::fputs(payload.c_str(), stdout);
+    return 0;
+}
+
+int
+runMerge(int argc, char **argv)
+{
+    const MergeCli cli = parseMergeCli(argc, argv);
+    if (cli.showHelp) {
+        std::fputs(Usage, stdout);
+        return 0;
+    }
+    if (!cli.error.empty()) {
+        std::fprintf(stderr, "c3d-sweep: %s\n%s", cli.error.c_str(),
+                     Usage);
+        return 2;
+    }
+    if (cli.format == "table" && !cli.outFile.empty()) {
+        std::fprintf(stderr,
+                     "c3d-sweep: --format=table writes to stdout "
+                     "only\n");
+        return 2;
+    }
+
+    std::vector<exp::JournalData> parts;
+    std::string error;
+    for (const std::string &path : cli.journals) {
+        exp::JournalData data;
+        if (!exp::readJournalFile(path, data, error)) {
+            std::fprintf(stderr, "c3d-sweep: %s\n", error.c_str());
+            return 1;
+        }
+        if (data.truncatedTail)
+            std::fprintf(stderr,
+                         "c3d-sweep: warning: '%s' ends in a "
+                         "truncated line (dropped)\n",
+                         path.c_str());
+        parts.push_back(std::move(data));
+    }
+
+    exp::ResultTable table;
+    if (!exp::mergeJournals(parts, table, error)) {
+        std::fprintf(stderr, "c3d-sweep: %s\n", error.c_str());
+        return 1;
+    }
+    return emitTable(table, cli.format, cli.outFile);
+}
+
+// Written by the SIGINT handler and by worker threads (journal
+// write failure), read by every worker's stop check: must be a
+// lock-free atomic, which is both thread-safe and
+// async-signal-safe.
+std::atomic<int> g_interrupted{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
+
+void
+onInterrupt(int)
+{
+    g_interrupted.store(1);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f)
+        std::fclose(f);
+    return f != nullptr;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
+        return runMerge(argc, argv);
+
     const SweepCli cli = parseSweepCli(argc, argv);
     if (cli.showHelp) {
         std::fputs(Usage, stdout);
@@ -281,6 +497,7 @@ main(int argc, char **argv)
 
     setQuiet(true);
     exp::SweepEngine engine(cli.jobs);
+    engine.setShard(cli.shardIdx, cli.shardCnt);
     if (cli.progress) {
         engine.setProgress([](const exp::RunSpec &spec,
                               std::size_t done, std::size_t total) {
@@ -290,28 +507,164 @@ main(int argc, char **argv)
         });
     }
 
-    const exp::ResultTable table = engine.run(cli.grid);
+    // Checkpointing: validate/open the journal before running.
+    const std::vector<exp::RunSpec> specs = cli.grid.expand();
+    const std::string fingerprint = exp::gridFingerprint(specs);
+    exp::JournalWriter writer;
+    std::string error;
+    std::size_t resumed_rows = 0;
 
-    std::string payload;
-    if (cli.format == "json")
-        payload = table.toJson();
-    else if (cli.format == "csv")
-        payload = table.toCsv();
-
-    if (!cli.outFile.empty()) {
-        std::ofstream out(cli.outFile, std::ios::binary);
-        if (!out) {
-            std::fprintf(stderr, "c3d-sweep: cannot write '%s'\n",
-                         cli.outFile.c_str());
+    // --resume treats a journal holding at most a torn header (no
+    // complete newline-terminated line, content a prefix of our
+    // header) as absent: such a file cannot hold any fsync'd row,
+    // only a crash that beat the header to disk, and must not
+    // brick an unconditional cron-style --resume loop. Anything
+    // else aborts rather than risk overwriting real data: an
+    // unreadable file (transient I/O, permissions) or newline-free
+    // content that is not our header (a mistyped path).
+    std::string resume_text;
+    exp::ReadFile resume_read = exp::ReadFile::Absent;
+    if (!cli.resumeFile.empty()) {
+        resume_read =
+            exp::readTextFile(cli.resumeFile, resume_text, error);
+        if (resume_read == exp::ReadFile::Error) {
+            std::fprintf(stderr, "c3d-sweep: %s\n", error.c_str());
             return 1;
         }
-        out << payload;
-        return 0;
+    }
+    const bool resume_no_newline =
+        resume_text.find('\n') == std::string::npos;
+    if (resume_read == exp::ReadFile::Ok && resume_no_newline &&
+        !resume_text.empty()) {
+        const std::string header_start =
+            std::string("{\"schema\": \"") +
+            exp::journalSchemaName() + "\"";
+        const std::size_t n =
+            std::min(resume_text.size(), header_start.size());
+        if (resume_text.compare(0, n, header_start, 0, n) != 0) {
+            std::fprintf(stderr,
+                         "c3d-sweep: '%s' is not a sweep journal; "
+                         "refusing to overwrite it\n",
+                         cli.resumeFile.c_str());
+            return 1;
+        }
+    }
+    const bool resume_fresh =
+        resume_read != exp::ReadFile::Ok || resume_no_newline;
+
+    if (!cli.resumeFile.empty() && !resume_fresh) {
+        exp::JournalData data;
+        if (!exp::parseJournal(resume_text, data, error)) {
+            std::fprintf(stderr, "c3d-sweep: %s: %s\n",
+                         cli.resumeFile.c_str(), error.c_str());
+            return 1;
+        }
+        if (data.total != specs.size() ||
+            data.fingerprint != fingerprint) {
+            std::fprintf(stderr,
+                         "c3d-sweep: journal '%s' was written by a "
+                         "different grid (specs: %zu here vs %llu "
+                         "journaled; fingerprint: %s here vs %s "
+                         "journaled)\n",
+                         cli.resumeFile.c_str(), specs.size(),
+                         static_cast<unsigned long long>(data.total),
+                         fingerprint.c_str(),
+                         data.fingerprint.c_str());
+            return 1;
+        }
+        std::unordered_map<std::size_t, exp::ResultRow> pre;
+        for (exp::JournalEntry &entry : data.entries) {
+            const std::size_t i =
+                static_cast<std::size_t>(entry.index);
+            if (i >= specs.size() ||
+                entry.row.identityKey() !=
+                    exp::specIdentityKey(specs[i])) {
+                std::fprintf(stderr,
+                             "c3d-sweep: journal '%s' row for grid "
+                             "point %zu does not match this grid\n",
+                             cli.resumeFile.c_str(), i);
+                return 1;
+            }
+            pre.emplace(i, std::move(entry.row));
+        }
+        if (data.truncatedTail)
+            std::fprintf(stderr,
+                         "c3d-sweep: note: dropped a truncated "
+                         "trailing journal line; that grid point "
+                         "re-runs\n");
+        resumed_rows = pre.size();
+        engine.setPrefilled(std::move(pre));
+        if (!writer.openAppend(cli.resumeFile, error)) {
+            std::fprintf(stderr, "c3d-sweep: %s\n", error.c_str());
+            return 1;
+        }
+    } else if (!cli.resumeFile.empty()) {
+        if (resume_read == exp::ReadFile::Ok &&
+            !resume_text.empty())
+            std::fprintf(stderr,
+                         "c3d-sweep: note: '%s' has no complete "
+                         "journal line; starting it fresh\n",
+                         cli.resumeFile.c_str());
+        if (!writer.create(cli.resumeFile, specs.size(), fingerprint,
+                           error)) {
+            std::fprintf(stderr, "c3d-sweep: %s\n", error.c_str());
+            return 1;
+        }
+    } else if (!cli.journalFile.empty()) {
+        // Exclusive create: refusing an existing file atomically
+        // means two processes handed the same --journal path can
+        // never interleave writes into one corrupt file.
+        if (!writer.create(cli.journalFile, specs.size(), fingerprint,
+                           error, /*exclusive=*/true)) {
+            if (fileExists(cli.journalFile))
+                std::fprintf(stderr,
+                             "c3d-sweep: journal '%s' already "
+                             "exists (use --resume=%s to continue "
+                             "it)\n",
+                             cli.journalFile.c_str(),
+                             cli.journalFile.c_str());
+            else
+                std::fprintf(stderr, "c3d-sweep: %s\n",
+                             error.c_str());
+            return 1;
+        }
     }
 
-    if (cli.format == "table")
-        printHumanTable(table);
-    else
-        std::fputs(payload.c_str(), stdout);
-    return 0;
+    const std::string journal_path = !cli.resumeFile.empty()
+        ? cli.resumeFile : cli.journalFile;
+    std::size_t journaled_rows = 0;
+    std::string journal_error;
+    if (writer.isOpen()) {
+        // A journaled sweep is interruptible: SIGINT stops workers
+        // from claiming new grid points, in-flight rows still land
+        // in the journal, and --resume continues later.
+        std::signal(SIGINT, onInterrupt);
+        engine.setStopRequest([] { return g_interrupted != 0; });
+        engine.setRowSink([&](const exp::RunSpec &spec,
+                              const exp::ResultRow &row) {
+            if (!journal_error.empty())
+                return;
+            if (!writer.append(spec.index, row, journal_error))
+                g_interrupted = 1; // stop claiming new specs
+            else
+                ++journaled_rows;
+        });
+    }
+
+    const exp::ResultTable table = engine.run(cli.grid);
+
+    if (!journal_error.empty()) {
+        std::fprintf(stderr, "c3d-sweep: %s\n",
+                     journal_error.c_str());
+        return 1;
+    }
+    if (g_interrupted) {
+        std::fprintf(stderr,
+                     "c3d-sweep: interrupted; %zu rows checkpointed "
+                     "in '%s'; continue with --resume=%s\n",
+                     resumed_rows + journaled_rows,
+                     journal_path.c_str(), journal_path.c_str());
+        return 130;
+    }
+    return emitTable(table, cli.format, cli.outFile);
 }
