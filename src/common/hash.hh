@@ -1,0 +1,41 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing, shared by every identity digest in c3dsim
+ * (sweep-grid fingerprints, trace-file content hashes). One
+ * implementation: the constants must never diverge between the
+ * producers, or resume/merge identity checks would silently stop
+ * matching.
+ */
+
+#ifndef C3DSIM_COMMON_HASH_HH
+#define C3DSIM_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace c3d
+{
+
+constexpr std::uint64_t Fnv1aOffset = 14695981039346656037ull;
+constexpr std::uint64_t Fnv1aPrime = 1099511628211ull;
+
+/** Fold one byte into an FNV-1a 64 state. */
+constexpr std::uint64_t
+fnv1aByte(std::uint64_t h, unsigned char b)
+{
+    return (h ^ b) * Fnv1aPrime;
+}
+
+/** Fold @p n bytes into an FNV-1a 64 state. */
+inline std::uint64_t
+fnv1aBytes(std::uint64_t h, const void *data, std::size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i)
+        h = fnv1aByte(h, p[i]);
+    return h;
+}
+
+} // namespace c3d
+
+#endif // C3DSIM_COMMON_HASH_HH

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/hash.hh"
 #include "exp/result_table.hh"
 
 namespace c3d::exp
@@ -23,14 +24,25 @@ specIdentityKey(const RunSpec &spec)
 std::string
 gridFingerprint(const std::vector<RunSpec> &specs)
 {
-    std::uint64_t h = 14695981039346656037ull; // FNV offset basis
+    std::uint64_t h = Fnv1aOffset;
     const auto mix = [&h](const char c) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ull; // FNV prime
+        h = fnv1aByte(h, static_cast<unsigned char>(c));
     };
     for (const RunSpec &spec : specs) {
         for (const char c : specIdentityKey(spec))
             mix(c);
+        // Trace workloads: fold the file's content hash in, so a
+        // journal written against one trace refuses to resume/merge
+        // against different contents -- even at the same path. The
+        // path itself is deliberately absent (the same trace mounted
+        // elsewhere on another shard worker is the same grid).
+        if (spec.profile.isTrace()) {
+            char tb[32];
+            std::snprintf(tb, sizeof(tb), "|trace:%016" PRIx64,
+                          spec.profile.traceHash);
+            for (const char *p = tb; *p; ++p)
+                mix(*p);
+        }
         mix('\n');
     }
     char buf[24];

@@ -105,7 +105,10 @@ std::string specIdentityKey(const RunSpec &spec);
  * FNV-1a 64 digest (16 hex digits) over every spec's identity key,
  * in expansion order. Two grids share a fingerprint iff they expand
  * to the same run specs, so shard journals can refuse to merge with
- * output from a different grid.
+ * output from a different grid. Trace workloads additionally fold
+ * the trace file's content hash (not its path) into the digest, so
+ * resuming or merging against modified trace contents refuses
+ * loudly while the same trace at a different mount point matches.
  */
 std::string gridFingerprint(const std::vector<RunSpec> &specs);
 

@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include "common/log.hh"
+#include "trace/trace_file.hh"
 
 namespace c3d
 {
@@ -98,6 +99,16 @@ runWorkload(const SystemConfig &cfg,
             const WorkloadProfile &scaled_profile,
             std::uint64_t warmup_ops, std::uint64_t measure_ops)
 {
+    // Trace profiles replay their file (streaming, per-core lanes).
+    // Passing the profile's content hash enables the reader's scan
+    // memo across grid points and makes a trace modified after grid
+    // expansion fail loudly instead of replaying different bytes.
+    if (scaled_profile.isTrace()) {
+        TraceFileWorkload wl(scaled_profile.tracePath,
+                             scaled_profile.traceHash);
+        Runner runner(cfg, wl);
+        return runner.run(warmup_ops, measure_ops);
+    }
     SyntheticWorkload wl(scaled_profile, cfg.totalCores(),
                          cfg.coresPerSocket);
     Runner runner(cfg, wl);

@@ -115,6 +115,16 @@ struct WorkloadProfile
     bool singleThreaded = false;
     std::uint64_t seed = 0xC3D0;
 
+    // ---- trace replay ---------------------------------------------------
+    /** Non-empty: replay this c3dsim trace file instead of generating
+     * a synthetic stream (loadTraceProfile builds such profiles). */
+    std::string tracePath;
+    /** Content hash of the trace file (identity, folded into grid
+     * fingerprints so resume/merge refuse modified traces). */
+    std::uint64_t traceHash = 0;
+
+    bool isTrace() const { return !tracePath.empty(); }
+
     /** Divide all footprints by @p factor (floor one page each). */
     WorkloadProfile scaled(std::uint32_t factor) const;
 };

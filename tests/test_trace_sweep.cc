@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Trace workloads as sweep citizens: grids naming `trace:` profiles
+ * must keep every determinism contract the synthetic grids have
+ * (byte-identical output for any worker count, sharded+merged ==
+ * whole), and the grid fingerprint must track the trace file's
+ * contents -- not its path -- so journals refuse modified traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "exp/journal.hh"
+#include "exp/sweep_engine.hh"
+#include "trace/trace_file.hh"
+
+namespace c3d
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "c3d_trace_sweep_" + name;
+}
+
+/**
+ * Record a small deterministic 4-core trace. @p salt perturbs one
+ * address so tests can produce "the same grid against different
+ * trace contents".
+ */
+void
+writeTrace(const std::string &path, Addr salt = 0)
+{
+    TraceFileWriter w(path, 4);
+    for (std::uint32_t i = 0; i < 400; ++i) {
+        for (std::uint16_t c = 0; c < 4; ++c) {
+            const Addr base = (i * 29 + c * 7919) % 512;
+            w.append({c, static_cast<std::uint16_t>(i % 5),
+                      (i + c) % 7 == 0 ? MemOp::Write : MemOp::Read,
+                      base * 64 + (i == 3 && c == 1 ? salt : 0)});
+        }
+    }
+    w.close();
+}
+
+exp::SweepGrid
+traceGrid(const std::string &trace_path)
+{
+    WorkloadProfile p;
+    std::string error;
+    EXPECT_TRUE(loadTraceProfile(trace_path, p, error)) << error;
+
+    exp::SweepGrid grid;
+    grid.workloads = {std::move(p)};
+    grid.designs = {Design::Baseline, Design::C3D};
+    grid.sockets = {2};
+    grid.scale = 256;
+    grid.coresPerSocket = 2;
+    grid.warmupOps = 200;
+    grid.measureOps = 800;
+    return grid;
+}
+
+TEST(TraceSweep, ByteIdenticalForAnyWorkerCount)
+{
+    setQuiet(true);
+    const std::string path = tempPath("det.c3dt");
+    writeTrace(path);
+    const exp::SweepGrid grid = traceGrid(path);
+
+    const exp::ResultTable one = exp::SweepEngine(1).run(grid);
+    const exp::ResultTable four = exp::SweepEngine(4).run(grid);
+    ASSERT_EQ(one.size(), grid.size());
+    EXPECT_EQ(one.toJson(), four.toJson());
+    EXPECT_EQ(one.toCsv(), four.toCsv());
+
+    // The run actually simulated something.
+    for (const exp::ResultRow &row : one.rows()) {
+        EXPECT_EQ(row.workload, grid.workloads[0].name);
+        EXPECT_GT(row.metrics.instructions, 0u);
+        EXPECT_GT(row.metrics.memAccesses(), 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceSweep, MixedSyntheticAndTraceGridRuns)
+{
+    setQuiet(true);
+    const std::string path = tempPath("mixed.c3dt");
+    writeTrace(path);
+
+    exp::SweepGrid grid = traceGrid(path);
+    grid.workloads.push_back(profileByName("facesim"));
+    const exp::ResultTable table = exp::SweepEngine(2).run(grid);
+    ASSERT_EQ(table.size(), grid.size());
+    EXPECT_EQ(table.rows()[0].workload, grid.workloads[0].name);
+    EXPECT_EQ(table.rows()[grid.designs.size()].workload, "facesim");
+    for (const exp::ResultRow &row : table.rows())
+        EXPECT_GT(row.metrics.instructions, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceSweep, SpecIdentityKeyMatchesRowKey)
+{
+    const std::string path = tempPath("identity.c3dt");
+    writeTrace(path);
+    const exp::SweepGrid grid = traceGrid(path);
+
+    std::set<std::string> keys;
+    for (const exp::RunSpec &spec : grid.expand()) {
+        const exp::ResultRow row =
+            exp::SweepEngine::makeRow(spec, RunResult{});
+        EXPECT_EQ(exp::specIdentityKey(spec), row.identityKey());
+        EXPECT_TRUE(keys.insert(row.identityKey()).second);
+    }
+    EXPECT_EQ(keys.size(), grid.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceSweep, SameBasenameDifferentContentsStayDistinct)
+{
+    // Two corpus files sharing a basename but not contents must not
+    // collide in row identity (the name carries a content-hash
+    // suffix) -- otherwise their grid's own shard journals would
+    // refuse to merge as an "identity collision".
+    const std::string dir_a = tempPath("corpusA");
+    const std::string dir_b = tempPath("corpusB");
+    ASSERT_EQ(std::system(("mkdir -p '" + dir_a + "' '" + dir_b +
+                           "'").c_str()), 0);
+    const std::string path_a = dir_a + "/app.c3dt";
+    const std::string path_b = dir_b + "/app.c3dt";
+    writeTrace(path_a);
+    writeTrace(path_b, /*salt=*/64);
+
+    exp::SweepGrid grid = traceGrid(path_a);
+    WorkloadProfile other;
+    std::string error;
+    ASSERT_TRUE(loadTraceProfile(path_b, other, error)) << error;
+    grid.workloads.push_back(std::move(other));
+    EXPECT_NE(grid.workloads[0].name, grid.workloads[1].name);
+
+    std::set<std::string> keys;
+    for (const exp::RunSpec &spec : grid.expand())
+        EXPECT_TRUE(keys.insert(exp::specIdentityKey(spec)).second);
+    EXPECT_EQ(keys.size(), grid.size());
+
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    rmdir(dir_a.c_str());
+    rmdir(dir_b.c_str());
+}
+
+TEST(TraceSweep, FingerprintTracksTraceContentsNotPath)
+{
+    const std::string path = tempPath("fp.c3dt");
+    writeTrace(path);
+    const std::string base =
+        exp::gridFingerprint(traceGrid(path).expand());
+    EXPECT_EQ(base.size(), 16u);
+
+    // Same contents, same grid: stable.
+    EXPECT_EQ(base, exp::gridFingerprint(traceGrid(path).expand()));
+
+    // One changed address: same path, different fingerprint -- this
+    // is what makes --resume/merge refuse a modified trace.
+    writeTrace(path, /*salt=*/64);
+    EXPECT_NE(base, exp::gridFingerprint(traceGrid(path).expand()));
+
+    // Identical contents reached via a different directory (same
+    // basename, so the workload name matches): same fingerprint --
+    // shard workers may mount the corpus anywhere.
+    const std::string dir = tempPath("fpdir");
+    ASSERT_EQ(std::remove(path.c_str()), 0);
+    writeTrace(path);
+    std::string cmd = "mkdir -p '" + dir + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    // Same basename: the workload *name* is "trace:<basename>", so
+    // only the directory may differ for the identity to match.
+    const std::string copy =
+        dir + path.substr(path.find_last_of('/'));
+    cmd = "cp '" + path + "' '" + copy + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    EXPECT_EQ(exp::gridFingerprint(traceGrid(path).expand()),
+              exp::gridFingerprint(traceGrid(copy).expand()));
+    std::remove(copy.c_str());
+    rmdir(dir.c_str());
+    std::remove(path.c_str());
+}
+
+TEST(TraceSweep, ShardedMergeMatchesWholeByteForByte)
+{
+    setQuiet(true);
+    const std::string path = tempPath("shard.c3dt");
+    writeTrace(path);
+    const exp::SweepGrid grid = traceGrid(path);
+    const std::vector<exp::RunSpec> specs = grid.expand();
+    const std::string fingerprint = exp::gridFingerprint(specs);
+
+    const exp::ResultTable whole = exp::SweepEngine(1).run(grid);
+
+    std::vector<exp::JournalData> parts;
+    for (unsigned k = 0; k < 2; ++k) {
+        const std::string journal =
+            tempPath("shard" + std::to_string(k) + ".jsonl");
+        exp::JournalWriter writer;
+        std::string error;
+        ASSERT_TRUE(writer.create(journal, specs.size(), fingerprint,
+                                  error)) << error;
+        exp::SweepEngine engine(k + 1);
+        ASSERT_TRUE(engine.setShard(k, 2));
+        engine.setRowSink([&](const exp::RunSpec &spec,
+                              const exp::ResultRow &row) {
+            std::string werr;
+            ASSERT_TRUE(writer.append(spec.index, row, werr)) << werr;
+        });
+        engine.run(grid);
+        writer.close();
+
+        exp::JournalData data;
+        std::string rerr;
+        ASSERT_TRUE(exp::readJournalFile(journal, data, rerr))
+            << rerr;
+        EXPECT_EQ(data.fingerprint, fingerprint);
+        parts.push_back(std::move(data));
+        std::remove(journal.c_str());
+    }
+
+    exp::ResultTable merged;
+    std::string error;
+    ASSERT_TRUE(exp::mergeJournals(parts, merged, error)) << error;
+    EXPECT_EQ(whole.toJson(), merged.toJson());
+    EXPECT_EQ(whole.toCsv(), merged.toCsv());
+
+    // A journal against the original trace does not merge with, or
+    // resume against, the grid of a modified trace: the fingerprints
+    // already disagree, which is exactly what the CLI checks.
+    writeTrace(path, /*salt=*/64);
+    EXPECT_NE(exp::gridFingerprint(traceGrid(path).expand()),
+              fingerprint);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace c3d

@@ -2,8 +2,9 @@
  * @file
  * Perf-regression report: measures the simulator's hot-path
  * primitives plus one fixed end-to-end sweep row and emits a
- * machine-readable BENCH_PR3.json so CI can track the throughput
- * trajectory across PRs.
+ * machine-readable BENCH.json so CI can track the throughput
+ * trajectory across PRs (the committed BENCH_PR3.json is the PR-3
+ * era snapshot of this report).
  *
  * Sections:
  *  - event_queue: the BM_EventQueueScheduleRun workload (1024 events,
@@ -344,7 +345,7 @@ int
 main(int argc, char **argv)
 {
     Report rep;
-    std::string out = "BENCH_PR3.json";
+    std::string out = "BENCH.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quick") {

@@ -23,6 +23,7 @@
  *   c3d-sweep --workloads=all --shard=0/3 --journal=s0.jsonl
  *   c3d-sweep --workloads=all --resume=sweep.jsonl --out=r.json
  *   c3d-sweep merge --out=r.json s0.jsonl s1.jsonl s2.jsonl
+ *   c3d-sweep --workloads=trace:app.c3dt,traces:corpus.manifest
  */
 
 #include <algorithm>
@@ -38,6 +39,7 @@
 #include "common/log.hh"
 #include "exp/journal.hh"
 #include "exp/sweep_engine.hh"
+#include "trace/trace_file.hh"
 
 namespace
 {
@@ -51,7 +53,12 @@ const char *const Usage =
     "  --designs=A,B          baseline|snoopy|full-dir|c3d|"
     "c3d-full-dir (default c3d)\n"
     "  --workloads=A,B|all    paper profile names (default facesim);\n"
-    "                         'all' = the nine parallel profiles\n"
+    "                         'all' = the nine parallel profiles;\n"
+    "                         'trace:FILE' = replay a c3dsim trace\n"
+    "                         (c3d-trace records them); 'traces:M' =\n"
+    "                         every trace listed in manifest M (one\n"
+    "                         path per line, # comments, relative\n"
+    "                         paths resolve against the manifest)\n"
     "  --sockets=N,M          socket counts (default 4)\n"
     "  --dram-cache-mb=N,M    unscaled DRAM-cache MB; 0 = default 1 GB\n"
     "  --mappings=P,Q         INT|FT1|FT2 (default FT2)\n"
@@ -135,6 +142,61 @@ parseShard(const std::string &value, unsigned &idx, unsigned &cnt)
     return true;
 }
 
+/** Directory prefix of @p path, up to and including the last '/'. */
+std::string
+dirPrefix(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash + 1);
+}
+
+/**
+ * Load a trace manifest: one trace path per line, blank lines and
+ * '#' comments ignored, relative paths resolved against the
+ * manifest's own directory. Each trace is validated on load.
+ */
+bool
+loadTraceManifest(const std::string &manifest_path,
+                  std::vector<WorkloadProfile> &out,
+                  std::string &error)
+{
+    std::string text;
+    if (exp::readTextFile(manifest_path, text, error) !=
+        exp::ReadFile::Ok)
+        return false;
+    const std::string dir = dirPrefix(manifest_path);
+    std::size_t added = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string line = text.substr(start, end - start);
+        start = end + 1;
+        // Trim whitespace; skip blanks and comments.
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        const std::size_t last = line.find_last_not_of(" \t\r");
+        line = line.substr(first, last - first + 1);
+        if (line[0] != '/')
+            line = dir + line;
+        WorkloadProfile p;
+        if (!loadTraceProfile(line, p, error)) {
+            error = "manifest '" + manifest_path + "': " + error;
+            return false;
+        }
+        out.push_back(std::move(p));
+        ++added;
+    }
+    if (added == 0) {
+        error = "manifest '" + manifest_path + "' lists no traces";
+        return false;
+    }
+    return true;
+}
+
 bool
 parseWorkloads(const std::string &value,
                std::vector<WorkloadProfile> &out, std::string &error)
@@ -144,6 +206,14 @@ parseWorkloads(const std::string &value,
         if (name == "all") {
             for (const WorkloadProfile &p : parallelProfiles())
                 out.push_back(p);
+        } else if (name.rfind("trace:", 0) == 0) {
+            WorkloadProfile p;
+            if (!loadTraceProfile(name.substr(6), p, error))
+                return false;
+            out.push_back(std::move(p));
+        } else if (name.rfind("traces:", 0) == 0) {
+            if (!loadTraceManifest(name.substr(7), out, error))
+                return false;
         } else if (name == "mcf") {
             out.push_back(mcfProfile());
         } else {
