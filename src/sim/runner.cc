@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "trace/trace_file.hh"
+#include "workload/composed_workload.hh"
 
 namespace c3d
 {
@@ -21,6 +22,36 @@ Runner::Runner(const SystemConfig &cfg, Workload &wl)
 }
 
 Runner::~Runner() = default;
+
+void
+Runner::enableTenantTracking(std::vector<std::int32_t> core_tenant,
+                             std::vector<std::string> names)
+{
+    c3d_assert(tenantSets.empty(), "tenant tracking enabled twice");
+    coreTenant = std::move(core_tenant);
+    tenantNames = std::move(names);
+
+    // Size the set vector once and register afterwards: the StatGroup
+    // stores raw pointers into it, so it must never reallocate.
+    const auto n = static_cast<std::uint32_t>(tenantNames.size());
+    tenantSets = std::vector<TenantStatSet>(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        tenantSets[i].init(&m->stats(), i);
+
+    const SystemConfig &cfg = m->config();
+    for (SocketId s = 0; s < cfg.numSockets; ++s) {
+        std::vector<TenantStatSet *> by_core(cfg.coresPerSocket,
+                                             nullptr);
+        for (std::uint32_t l = 0; l < cfg.coresPerSocket; ++l) {
+            const std::size_t g =
+                static_cast<std::size_t>(s) * cfg.coresPerSocket + l;
+            if (g < coreTenant.size() && coreTenant[g] >= 0)
+                by_core[l] = &tenantSets[static_cast<std::size_t>(
+                    coreTenant[g])];
+        }
+        m->socket(s).setTenantStats(std::move(by_core));
+    }
+}
 
 RunResult
 Runner::run(std::uint64_t warmup_ops, std::uint64_t measure_ops)
@@ -91,6 +122,30 @@ Runner::run(std::uint64_t warmup_ops, std::uint64_t measure_ops)
         ? sg.valueOf("proto.broadcasts") : 0;
     r.broadcastsElided = sg.has("proto.broadcasts_elided")
         ? sg.valueOf("proto.broadcasts_elided") : 0;
+
+    if (!tenantSets.empty()) {
+        r.tenants.resize(tenantSets.size());
+        for (std::size_t i = 0; i < tenantSets.size(); ++i) {
+            const TenantStatSet &ts = tenantSets[i];
+            TenantMetrics &tm = r.tenants[i];
+            tm.name = tenantNames[i];
+            tm.loads = ts.loads.value();
+            tm.stores = ts.stores.value();
+            tm.dramCacheHits = ts.dramCacheHits.value();
+            tm.dramCacheMisses = ts.dramCacheMisses.value();
+            tm.latP50 = ts.memLatency.percentile(50);
+            tm.latP95 = ts.memLatency.percentile(95);
+            tm.latP99 = ts.memLatency.percentile(99);
+        }
+        // Instructions are per-core state on the TraceCpus; fold
+        // them per tenant via the core map.
+        for (std::size_t c = 0;
+             c < coreTenant.size() && c < cpus.size(); ++c) {
+            if (coreTenant[c] >= 0)
+                r.tenants[static_cast<std::size_t>(coreTenant[c])]
+                    .instructions += cpus[c]->instructions();
+        }
+    }
     return r;
 }
 
@@ -103,6 +158,33 @@ runWorkload(const SystemConfig &cfg,
     // Passing the profile's content hash enables the reader's scan
     // memo across grid points and makes a trace modified after grid
     // expansion fail loudly instead of replaying different bytes.
+    // Composition profiles reload their manifest (members unscanned:
+    // the ComposedWorkload's expected-hash reader opens revalidate
+    // them through the scan memo) and re-derive the semantic hash so
+    // a manifest edited after grid expansion fails loudly.
+    if (scaled_profile.isComposition()) {
+        CompositionSpec spec;
+        std::string error;
+        if (!loadComposition(scaled_profile.compositionPath, spec,
+                             error, /*validate_members=*/false))
+            c3d_fatal("%s", error.c_str());
+        if (compositionHashOf(spec) !=
+            scaled_profile.compositionHash) {
+            c3d_fatal("'%s' changed since the grid was built "
+                      "(composition hash %016llx, expected %016llx)",
+                      scaled_profile.compositionPath.c_str(),
+                      static_cast<unsigned long long>(
+                          compositionHashOf(spec)),
+                      static_cast<unsigned long long>(
+                          scaled_profile.compositionHash));
+        }
+        ComposedWorkload wl(spec, scaled_profile.seed,
+                            cfg.totalCores());
+        Runner runner(cfg, wl);
+        runner.enableTenantTracking(wl.coreTenants(),
+                                    wl.tenantNames());
+        return runner.run(warmup_ops, measure_ops);
+    }
     if (scaled_profile.isTrace()) {
         TraceFileWorkload wl(scaled_profile.tracePath,
                              scaled_profile.traceHash);

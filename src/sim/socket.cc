@@ -41,9 +41,29 @@ Socket::Socket(EventQueue &eq, const SystemConfig &cfg, SocketId id,
 // --------------------------------------------------------------------
 
 void
+Socket::sampleLoadLatency(std::uint32_t core, Tick start)
+{
+    const Tick lat = eventq.now() - start;
+    loadLatency.sample(lat);
+    if (TenantStatSet *t = tenantFor(core))
+        t->memLatency.sample(lat);
+}
+
+void
+Socket::sampleStoreLatency(std::uint32_t core, Tick start)
+{
+    const Tick lat = eventq.now() - start;
+    storeLatency.sample(lat);
+    if (TenantStatSet *t = tenantFor(core))
+        t->memLatency.sample(lat);
+}
+
+void
 Socket::load(std::uint32_t core, Addr addr, std::function<void()> done)
 {
     ++loads;
+    if (TenantStatSet *t = tenantFor(core))
+        ++t->loads;
     const Addr blk = blockAlign(addr);
     const Tick start = eventq.now();
 
@@ -52,8 +72,8 @@ Socket::load(std::uint32_t core, Addr addr, std::function<void()> done)
         ++l1HitCount;
         l1.touch(e);
         eventq.schedule(cfg.l1Latency,
-                        [this, start, done = std::move(done)] {
-            loadLatency.sample(eventq.now() - start);
+                        [this, core, start, done = std::move(done)] {
+            sampleLoadLatency(core, start);
             done();
         });
         return;
@@ -65,8 +85,8 @@ Socket::load(std::uint32_t core, Addr addr, std::function<void()> done)
     eventq.schedule(cfg.l1Latency, [this, core, blk, start,
                                     done = std::move(done)]() mutable {
         accessLlcForRead(core, blk,
-                         [this, start, done = std::move(done)] {
-            loadLatency.sample(eventq.now() - start);
+                         [this, core, start, done = std::move(done)] {
+            sampleLoadLatency(core, start);
             done();
         });
     });
@@ -111,9 +131,13 @@ Socket::accessLlcForRead(std::uint32_t core, Addr blk,
                 if (res.present && dcache->contains(blk)) {
                     // Local DRAM-cache hit: the fast path that makes
                     // private DRAM caches attack the NUMA bottleneck.
+                    if (TenantStatSet *t = tenantFor(core))
+                        ++t->dramCacheHits;
                     fillRead(core, blk);
                     done();
                 } else {
+                    if (TenantStatSet *t = tenantFor(core))
+                        ++t->dramCacheMisses;
                     issueGetS(core, blk, std::move(done));
                 }
             });
@@ -163,6 +187,8 @@ Socket::store(std::uint32_t core, Addr addr, bool private_page,
               std::function<void()> done_raw)
 {
     ++stores;
+    if (TenantStatSet *t = tenantFor(core))
+        ++t->stores;
     const Addr blk = blockAlign(addr);
     const Tick start = eventq.now();
 
@@ -170,9 +196,9 @@ Socket::store(std::uint32_t core, Addr addr, bool private_page,
     if (TagEntry *e = l1.find(blk);
         e && e->state == CacheState::Modified) {
         l1.touch(e);
-        eventq.schedule(cfg.l1Latency,
-                        [this, start, done_raw = std::move(done_raw)] {
-            storeLatency.sample(eventq.now() - start);
+        eventq.schedule(cfg.l1Latency, [this, core, start,
+                                        done_raw = std::move(done_raw)] {
+            sampleStoreLatency(core, start);
             done_raw();
         });
         return;
@@ -186,8 +212,9 @@ Socket::store(std::uint32_t core, Addr addr, bool private_page,
     eventq.schedule(cfg.l1Latency + cfg.localDirLatency,
                     [this, core, private_page, blk, start,
                      done_raw = std::move(done_raw)]() mutable {
-        auto done = [this, start, done_raw = std::move(done_raw)] {
-            storeLatency.sample(eventq.now() - start);
+        auto done = [this, core, start,
+                     done_raw = std::move(done_raw)] {
+            sampleStoreLatency(core, start);
             done_raw();
         };
         TagEntry *e = llc.find(blk);

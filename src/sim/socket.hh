@@ -27,6 +27,7 @@
 #include "dramcache/dram_cache.hh"
 #include "mem/memory_controller.hh"
 #include "sim/event_queue.hh"
+#include "workload/tenant_stats.hh"
 
 namespace c3d
 {
@@ -49,6 +50,20 @@ class Socket
 
     /** Late binding: the machine wires the protocol after build. */
     void setProtocol(GlobalProtocol *p) { protocol = p; }
+
+    /**
+     * Per-tenant QoS attribution for composed workloads: @p by_core
+     * maps each socket-local core to its tenant's stat set (nullptr
+     * for idle cores). An empty vector -- the default -- disables
+     * tenant accounting entirely. Attribution happens here because
+     * the socket is the deepest layer that still knows the
+     * requesting core.
+     */
+    void
+    setTenantStats(std::vector<TenantStatSet *> by_core)
+    {
+        tenantStats = std::move(by_core);
+    }
 
     SocketId id() const { return socketId; }
 
@@ -149,6 +164,19 @@ class Socket
     /** Downgrade Modified L1 copies to Shared (remote GetS). */
     void downgradeL1Sharers(Addr addr, std::uint64_t sharers);
 
+    /** Tenant stat set of local @p core; nullptr when untracked. */
+    TenantStatSet *
+    tenantFor(std::uint32_t core) const
+    {
+        return core < tenantStats.size() ? tenantStats[core] : nullptr;
+    }
+
+    /** Sample socket + tenant load latency (done-callback helper). */
+    void sampleLoadLatency(std::uint32_t core, Tick start);
+
+    /** Sample socket + tenant store latency. */
+    void sampleStoreLatency(std::uint32_t core, Tick start);
+
     EventQueue &eventq;
     const SystemConfig &cfg;
     const SocketId socketId;
@@ -190,6 +218,9 @@ class Socket
     Counter getSIssued;
     Histogram loadLatency;
     Histogram storeLatency;
+
+    /** Local core -> tenant stat set; empty = no tenant tracking. */
+    std::vector<TenantStatSet *> tenantStats;
 };
 
 } // namespace c3d

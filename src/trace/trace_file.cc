@@ -290,17 +290,24 @@ scanTraceFile(const std::string &path, TraceFileInfo &info,
 }
 
 bool
+sameFileTarget(const std::string &in, const std::string &out)
+{
+    if (in == out)
+        return true;
+    struct stat si, so;
+    return ::stat(in.c_str(), &si) == 0 &&
+        ::stat(out.c_str(), &so) == 0 && si.st_dev == so.st_dev &&
+        si.st_ino == so.st_ino;
+}
+
+bool
 truncateTraceFile(const std::string &in, const std::string &out,
                   std::uint64_t keep, std::string &error,
                   TraceFileInfo *out_info)
 {
     // In-place truncation would destroy the input: the writer's
     // "wb" open truncates the inode while the reader is mid-copy.
-    struct stat si, so;
-    const bool same_inode = ::stat(in.c_str(), &si) == 0 &&
-        ::stat(out.c_str(), &so) == 0 && si.st_dev == so.st_dev &&
-        si.st_ino == so.st_ino;
-    if (in == out || same_inode) {
+    if (sameFileTarget(in, out)) {
         error = "refusing in-place truncation of '" + in +
             "'; write to a different --out";
         return false;

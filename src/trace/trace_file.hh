@@ -103,6 +103,15 @@ std::string traceWorkloadName(const std::string &path,
                               std::uint64_t content_hash);
 
 /**
+ * True when @p in and @p out name the same file: equal paths, or two
+ * paths resolving to one inode. Writing @p out would clobber @p in
+ * mid-read, so every tool that derives an output from input files
+ * (`c3d-trace truncate`, `c3d-trace compose`) refuses such targets
+ * through this one guard.
+ */
+bool sameFileTarget(const std::string &in, const std::string &out);
+
+/**
  * Copy the first @p keep records of @p in to a new trace @p out
  * (header rewritten to the new count, output revalidated). Refuses
  * in-place operation (same path or same inode -- the writer would

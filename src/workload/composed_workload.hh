@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ComposedWorkload: replay N tenant traces on one machine.
+ *
+ * Each active core is bound to exactly one lane of exactly one
+ * tenant's trace at construction time -- block assignment gives
+ * tenant i a contiguous core range, interleave deals cores round
+ * robin -- so every core's stream is a pure function of (manifest,
+ * seed, core) and never observes simulation timing, preserving the
+ * determinism contract byte-for-byte across shards and resume.
+ *
+ * Arrival delays are likewise encoded in the stream itself: the
+ * seeded arrival process adds compute instructions to each core's
+ * FIRST op instead of scheduling anything, so a late-arriving tenant
+ * simply computes longer before its first reference.
+ */
+
+#ifndef C3DSIM_WORKLOAD_COMPOSED_WORKLOAD_HH
+#define C3DSIM_WORKLOAD_COMPOSED_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_file.hh"
+#include "workload/composition.hh"
+
+namespace c3d
+{
+
+/** Workload adapter colocating a composition's tenant traces. */
+class ComposedWorkload : public Workload
+{
+  public:
+    /**
+     * Open every member trace (expected-hash reader opens: a member
+     * modified after the manifest was composed or the grid built is
+     * fatal) and bind lanes to the machine's @p total_cores under
+     * the manifest's assignment policy. @p seed drives the arrival
+     * process -- the sweep's effective seed, which may override the
+     * manifest's recorded one.
+     */
+    ComposedWorkload(const CompositionSpec &spec, std::uint64_t seed,
+                     std::uint32_t total_cores);
+
+    const std::string &name() const override { return workloadName; }
+    TraceOp next(CoreId core) override;
+    std::uint32_t activeCores(std::uint32_t total) const override;
+
+    std::uint32_t tenantCount() const
+    {
+        return static_cast<std::uint32_t>(members.size());
+    }
+
+    /** "t<idx>:<trace-basename>@<hash8>" per tenant, in order. */
+    std::vector<std::string> tenantNames() const;
+
+    /** Global core -> tenant index; -1 for idle cores. */
+    const std::vector<std::int32_t> &coreTenants() const
+    {
+        return coreTenant;
+    }
+
+  private:
+    struct Member
+    {
+        TraceFileReader reader;
+        TenantSpec spec;
+        std::string label;
+    };
+
+    /** Per-core replay cursor (fixed at construction). */
+    struct Slot
+    {
+        std::int32_t tenant = -1;  //!< -1: core idle
+        std::uint32_t lane = 0;    //!< lane within the tenant's trace
+        std::uint64_t ops = 0;     //!< ops produced (phase boundary)
+        std::uint32_t initialGap = 0; //!< arrival delay, first op only
+    };
+
+    std::string workloadName;
+    std::vector<std::unique_ptr<Member>> members;
+    std::vector<Slot> slots;
+    std::vector<std::int32_t> coreTenant;
+    std::uint32_t active = 0;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_WORKLOAD_COMPOSED_WORKLOAD_HH

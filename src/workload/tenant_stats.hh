@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Per-tenant QoS statistics for composed workloads.
+ *
+ * One TenantStatSet per tenant, registered with the machine's
+ * StatGroup (so the warm-up resetAll() covers it) and attributed at
+ * the layers that know the requesting core: Socket entry points
+ * count loads/stores and sample end-to-end memory latency, and the
+ * DRAM-cache probe callback counts per-tenant hits/misses. Deeper
+ * components (MemoryController, directory) have no requester on
+ * their interfaces, so their traffic stays machine-level only.
+ */
+
+#ifndef C3DSIM_WORKLOAD_TENANT_STATS_HH
+#define C3DSIM_WORKLOAD_TENANT_STATS_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace c3d
+{
+
+/** The per-tenant counters one composed tenant accumulates. */
+struct TenantStatSet
+{
+    Counter loads;
+    Counter stores;
+    Counter dramCacheHits;
+    Counter dramCacheMisses;
+    /** End-to-end CPU-visible memory latency (loads and stores). */
+    Histogram memLatency;
+
+    /** Register everything as "tenant<idx>.*" in @p group. */
+    void init(StatGroup *group, std::uint32_t idx);
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_WORKLOAD_TENANT_STATS_HH

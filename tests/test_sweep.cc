@@ -241,9 +241,10 @@ TEST(ResultTable, RejectsMalformedInput)
 
     // Numeric CSV fields must be plain digit strings: empty and
     // negative values are corrupt rows, not zeros / wrapped u64s.
+    // (The trailing empty field is the tenants column.)
     const std::string header = exp::ResultTable().toCsv();
     const std::string good =
-        "w,,c3d,FT2,4,8,32,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,1.0";
+        "w,,c3d,FT2,4,8,32,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,1.0,";
     EXPECT_TRUE(exp::ResultTable::fromCsv(header + good + "\n",
                                           parsed, error)) << error;
     std::string empty_field = good;
@@ -300,11 +301,11 @@ TEST(ResultTable, RejectsBadIpcColumn)
     // non-numeric token or a renamed header is not our schema.
     const std::string header = exp::ResultTable().toCsv();
     const std::string good =
-        "w,,c3d,FT2,4,8,32,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,1.0";
+        "w,,c3d,FT2,4,8,32,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,1.0,";
     ASSERT_TRUE(exp::ResultTable::fromCsv(header + good + "\n",
                                           parsed, error)) << error;
     std::string bad_field = good;
-    bad_field.replace(bad_field.rfind(",1.0"), 4, ",oops");
+    bad_field.replace(bad_field.rfind(",1.0,"), 5, ",oops,");
     EXPECT_FALSE(exp::ResultTable::fromCsv(header + bad_field + "\n",
                                            parsed, error));
     std::string bad_header = header;

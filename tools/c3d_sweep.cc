@@ -40,6 +40,7 @@
 #include "exp/journal.hh"
 #include "exp/sweep_engine.hh"
 #include "trace/trace_file.hh"
+#include "workload/composition.hh"
 
 namespace
 {
@@ -58,7 +59,10 @@ const char *const Usage =
     "                         (c3d-trace records them); 'traces:M' =\n"
     "                         every trace listed in manifest M (one\n"
     "                         path per line, # comments, relative\n"
-    "                         paths resolve against the manifest)\n"
+    "                         paths resolve against the manifest);\n"
+    "                         'compose:M' = a multi-tenant composition\n"
+    "                         manifest (c3d-trace compose) -- rows\n"
+    "                         report per-tenant QoS stats\n"
     "  --sockets=N,M          socket counts (default 4)\n"
     "  --dram-cache-mb=N,M    unscaled DRAM-cache MB; 0 = default 1 GB\n"
     "  --mappings=P,Q         INT|FT1|FT2 (default FT2)\n"
@@ -214,6 +218,14 @@ parseWorkloads(const std::string &value,
         } else if (name.rfind("traces:", 0) == 0) {
             if (!loadTraceManifest(name.substr(7), out, error))
                 return false;
+        } else if (name.rfind("compose:", 0) == 0) {
+            // Multi-tenant composition manifest (c3d-trace compose):
+            // validates the manifest and every member trace now, so
+            // a stale pin refuses before any simulation starts.
+            WorkloadProfile p;
+            if (!loadCompositionProfile(name.substr(8), p, error))
+                return false;
+            out.push_back(std::move(p));
         } else if (name == "mcf") {
             out.push_back(mcfProfile());
         } else {
