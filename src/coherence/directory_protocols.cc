@@ -63,9 +63,9 @@ DirectoryProtocol::getS(SocketId req, Addr addr, ReadDone done)
                          done = std::move(done)]() mutable {
         homeLocks[home].acquire(addr, [this, req, home, addr,
                                        done = std::move(done)]() mutable {
-            eq().schedule(cfg().globalDirLatency,
-                          [this, req, home, addr,
-                           done = std::move(done)]() mutable {
+            queueAt(home).schedule(cfg().globalDirLatency,
+                                   [this, req, home, addr,
+                                    done = std::move(done)]() mutable {
                 handleGetS(req, home, addr, std::move(done));
             });
         });
@@ -77,11 +77,20 @@ DirectoryProtocol::serveFromMemory(SocketId req, SocketId home,
                                    Addr addr,
                                    std::function<void()> deliver)
 {
+    // The block lock is released when the response *leaves* the home,
+    // not when it lands at the requester: the home is the ordering
+    // point, and any later transaction's packet toward the same
+    // destination departs at least globalDirLatency afterwards on the
+    // same deterministic route, so it can never pass the response
+    // (per-link FIFO). Previously the lock rode to the requester and
+    // was released there with no return message — a whole extra
+    // network traversal of artificial serialization on every miss.
     ++readsFromMemory;
     m.socket(home).memory().read(addr, /*remote=*/req != home,
-                                 [this, req, home,
+                                 [this, req, home, addr,
                                   deliver = std::move(deliver)]() mutable {
         sendData(home, req, std::move(deliver));
+        homeLocks[home].release(addr);
     });
 }
 
@@ -89,14 +98,9 @@ void
 DirectoryProtocol::handleGetS(SocketId req, SocketId home, Addr addr,
                               ReadDone done)
 {
-    auto finish = [this, home, addr, done = std::move(done)] {
-        done();
-        homeLocks[home].release(addr);
-    };
-
     DirEntry *e = dirs[home]->find(addr);
     if (watchingBlock(addr)) {
-        watchTrace(eq().now(), "handleGetS",
+        watchTrace(queueAt(home).now(), "handleGetS",
                    "req %u home %u state %d sharers %llx", req, home,
                    e ? static_cast<int>(e->state) : -1,
                    e ? static_cast<unsigned long long>(e->sharers)
@@ -105,26 +109,27 @@ DirectoryProtocol::handleGetS(SocketId req, SocketId home, Addr addr,
 
     if (e && e->state == DirState::Modified && e->owner != req) {
         // Slow remote hit path (§III-B Fig. 4): forward to the owner.
+        // The directory transition (M -> S with {owner, req}) happens
+        // here, at the home, at forward time: the entry cannot change
+        // underneath the in-flight probe because the block lock is
+        // held (victim selection skips busy blocks, and every other
+        // transaction for this block queues on the lock). The owner
+        // stays in the vector even on a writeback race so any
+        // DRAM-cache copy it retains remains covered by future
+        // invalidations.
         const SocketId owner = e->owner;
         ++fwdRequests;
+        e->state = DirState::Shared;
+        e->sharers = 0;
+        e->addSharer(owner);
+        e->addSharer(req);
+        e->owner = InvalidSocket;
         sendCtrl(home, owner, [this, req, home, owner, addr,
-                               finish = std::move(finish)]() mutable {
+                               done = std::move(done)]() mutable {
             m.socket(owner).probeDowngrade(addr,
                                            [this, req, home, owner, addr,
-                                            finish = std::move(finish)]
+                                            done = std::move(done)]
                                            (bool dirty) mutable {
-                DirEntry *e2 = dirs[home]->find(addr);
-                if (e2) {
-                    // M -> S with {owner, req}; the owner stays in
-                    // the vector even on a writeback race so any
-                    // DRAM-cache copy it retains remains covered by
-                    // future invalidations.
-                    e2->state = DirState::Shared;
-                    e2->sharers = 0;
-                    e2->addSharer(owner);
-                    e2->addSharer(req);
-                    e2->owner = InvalidSocket;
-                }
                 if (dirty) {
                     ++dirtyFwds;
                     ++readsFromOwner;
@@ -132,11 +137,31 @@ DirectoryProtocol::handleGetS(SocketId req, SocketId home, Addr addr,
                     sendData(owner, home, [this, home, addr] {
                         m.socket(home).memory().write(addr, false);
                     });
-                    sendData(owner, req, std::move(finish));
+                    // Data straight to the requester; the lock rides
+                    // home on an unblock ack only after the data has
+                    // landed, so no later probe for this block can
+                    // pass the fill in flight.
+                    sendData(owner, req,
+                             [this, req, home, addr,
+                              done = std::move(done)]() mutable {
+                        done();
+                        sendCtrl(req, home, [this, home, addr] {
+                            homeLocks[home].release(addr);
+                        });
+                    });
                 } else {
                     // The owner wrote the block back concurrently.
+                    // Hand the request back to the home, which owns
+                    // the memory being read — the old code read home
+                    // memory from the owner's side with zero flight
+                    // time.
                     ++fwdRaces;
-                    serveFromMemory(req, home, addr, std::move(finish));
+                    sendCtrl(owner, home,
+                             [this, req, home, addr,
+                              done = std::move(done)]() mutable {
+                        serveFromMemory(req, home, addr,
+                                        std::move(done));
+                    });
                 }
             });
         });
@@ -145,7 +170,7 @@ DirectoryProtocol::handleGetS(SocketId req, SocketId home, Addr addr,
 
     if (e && e->state == DirState::Shared) {
         e->addSharer(req);
-        serveFromMemory(req, home, addr, std::move(finish));
+        serveFromMemory(req, home, addr, std::move(done));
         return;
     }
 
@@ -157,7 +182,7 @@ DirectoryProtocol::handleGetS(SocketId req, SocketId home, Addr addr,
         e->sharers = 0;
         e->addSharer(req);
         e->owner = InvalidSocket;
-        serveFromMemory(req, home, addr, std::move(finish));
+        serveFromMemory(req, home, addr, std::move(done));
         return;
     }
 
@@ -172,7 +197,7 @@ DirectoryProtocol::handleGetS(SocketId req, SocketId home, Addr addr,
         ne->addSharer(req);
         resolveRecall(home, recall, trackedAt(home));
     }
-    serveFromMemory(req, home, addr, std::move(finish));
+    serveFromMemory(req, home, addr, std::move(done));
 }
 
 // --------------------------------------------------------------------
@@ -186,16 +211,16 @@ DirectoryProtocol::getX(SocketId req, Addr addr, bool has_shared_copy,
     const SocketId home = m.homeOf(addr, req);
     sendCtrl(req, home, [this, req, home, addr, has_shared_copy,
                          private_page, done = std::move(done)]() mutable {
-        const Tick lock_req_at = eq().now();
+        const Tick lock_req_at = queueAt(home).now();
         homeLocks[home].acquire(addr,
                                 [this, req, home, addr, has_shared_copy,
                                  private_page, lock_req_at,
                                  done = std::move(done)]() mutable {
-            lockWaitTime.sample(eq().now() - lock_req_at);
-            eq().schedule(cfg().globalDirLatency,
-                          [this, req, home, addr, has_shared_copy,
-                           private_page,
-                           done = std::move(done)]() mutable {
+            lockWaitTime.sample(queueAt(home).now() - lock_req_at);
+            queueAt(home).schedule(cfg().globalDirLatency,
+                                   [this, req, home, addr,
+                                    has_shared_copy, private_page,
+                                    done = std::move(done)]() mutable {
                 handleGetX(req, home, addr, has_shared_copy,
                            private_page, std::move(done));
             });
@@ -207,14 +232,13 @@ void
 DirectoryProtocol::respondWrite(SocketId req, SocketId home, Addr addr,
                                 bool with_data, WriteDone done)
 {
-    auto finish = [this, home, addr, done = std::move(done)] {
-        done();
-        homeLocks[home].release(addr);
-    };
     if (with_data) {
-        serveFromMemory(req, home, addr, std::move(finish));
+        serveFromMemory(req, home, addr, std::move(done));
     } else {
-        sendCtrl(home, req, std::move(finish));
+        // Upgrade ack: release when the grant leaves the home (same
+        // ordering-point argument as serveFromMemory).
+        sendCtrl(home, req, std::move(done));
+        homeLocks[home].release(addr);
     }
 }
 
@@ -225,7 +249,7 @@ DirectoryProtocol::handleGetX(SocketId req, SocketId home, Addr addr,
 {
     DirEntry *e = dirs[home]->find(addr);
     if (watchingBlock(addr)) {
-        watchTrace(eq().now(), "handleGetX",
+        watchTrace(queueAt(home).now(), "handleGetX",
                    "req %u home %u upg %d state %d sharers %llx", req,
                    home, upgrade ? 1 : 0,
                    e ? static_cast<int>(e->state) : -1,
@@ -235,34 +259,50 @@ DirectoryProtocol::handleGetX(SocketId req, SocketId home, Addr addr,
 
     if (e && e->state == DirState::Modified && e->owner != req) {
         // Ownership transfer: invalidate the owner; it forwards the
-        // dirty block directly to the requester.
+        // dirty block directly to the requester. As in handleGetS,
+        // the directory transition happens at the home at forward
+        // time — the block lock pins the entry until the transfer
+        // completes.
         const SocketId owner = e->owner;
         ++fwdRequests;
-        auto finish = [this, home, addr, done = std::move(done)] {
-            done();
-            homeLocks[home].release(addr);
-        };
+        e->state = DirState::Modified;
+        e->owner = req;
+        e->sharers = 0;
+        e->addSharer(req);
         sendCtrl(home, owner, [this, req, home, owner, addr,
-                               finish = std::move(finish)]() mutable {
+                               done = std::move(done)]() mutable {
             m.socket(owner).probeInvalidate(addr,
                                             [this, req, home, owner,
                                              addr,
-                                             finish = std::move(finish)]
+                                             done = std::move(done)]
                                             (bool dirty) mutable {
-                DirEntry *e2 = dirs[home]->find(addr);
-                if (e2) {
-                    e2->state = DirState::Modified;
-                    e2->owner = req;
-                    e2->sharers = 0;
-                    e2->addSharer(req);
-                }
                 if (dirty) {
                     ++dirtyFwds;
                     ++writesServedByOwner;
-                    sendData(owner, req, std::move(finish));
+                    // Data straight to the requester; the unblock
+                    // ack releases the block lock at the home only
+                    // once the fill has landed (so later probes
+                    // cannot pass it in flight).
+                    sendData(owner, req,
+                             [this, req, home, addr,
+                              done = std::move(done)]() mutable {
+                        done();
+                        sendCtrl(req, home, [this, home, addr] {
+                            homeLocks[home].release(addr);
+                        });
+                    });
                 } else {
+                    // Writeback race: no copy at the owner. Route
+                    // back to the home, whose memory serves the
+                    // write (the old code read home memory from the
+                    // owner's side with zero flight time).
                     ++fwdRaces;
-                    serveFromMemory(req, home, addr, std::move(finish));
+                    sendCtrl(owner, home,
+                             [this, req, home, addr,
+                              done = std::move(done)]() mutable {
+                        serveFromMemory(req, home, addr,
+                                        std::move(done));
+                    });
                 }
             });
         });
@@ -314,12 +354,23 @@ DirectoryProtocol::handleGetX(SocketId req, SocketId home, Addr addr,
             // §IV-C: broadcast invalidations to every remote DRAM
             // cache; the response leaves once both the acks have
             // returned and the memory data (read in parallel with
-            // the probes, §V-A) is ready.
+            // the probes, §V-A) is ready. The whole join lives at
+            // the home: the memory read completes here and the acks
+            // fan in here, and only when both are in does the single
+            // response (data, or a control grant for an upgrade)
+            // depart for the requester. The old join cleared its
+            // memory flag at the *requester* and could fire the
+            // write completion at the home with zero flight time
+            // when the acks were the laggard.
             ++broadcasts;
             auto join = std::make_shared<WriteJoin>();
-            join->finish = [this, home, addr,
-                            done = std::move(done)] {
-                done();
+            join->finish = [this, req, home, addr, with_data,
+                            done = std::move(done)]() mutable {
+                if (with_data) {
+                    sendData(home, req, std::move(done));
+                } else {
+                    sendCtrl(home, req, std::move(done));
+                }
                 homeLocks[home].release(addr);
             };
             join->memPending = with_data;
@@ -328,32 +379,21 @@ DirectoryProtocol::handleGetX(SocketId req, SocketId home, Addr addr,
             if (with_data) {
                 ++readsFromMemory;
                 m.socket(home).memory().read(
-                    addr, req != home, [this, req, home, join] {
-                    sendData(home, req, [join] {
-                        join->memPending = false;
-                        join->tryFinish();
-                    });
+                    addr, req != home, [join] {
+                    join->memPending = false;
+                    join->tryFinish();
                 });
             }
             invalidateSockets(home, othersThan(req), addr,
-                              [this, req, home, join,
-                               with_data](bool saw_dirty) {
+                              [this, join](bool saw_dirty) {
                 if (saw_dirty) {
                     // Clean DRAM caches can never hold dirty data;
                     // a dirty find here means an on-chip M copy
                     // slipped out of tracking (writeback race).
                     ++fwdRaces;
                 }
-                if (!with_data) {
-                    // Upgrade: the grant travels after the acks.
-                    sendCtrl(home, req, [join] {
-                        join->acksPending = false;
-                        join->tryFinish();
-                    });
-                } else {
-                    join->acksPending = false;
-                    join->tryFinish();
-                }
+                join->acksPending = false;
+                join->tryFinish();
             });
             return;
         }
@@ -370,19 +410,29 @@ void
 DirectoryProtocol::putX(SocketId req, Addr addr)
 {
     const SocketId home = m.homeOf(addr, req);
-    sendData(req, home, [this, req, home, addr] {
-        homeLocks[home].acquire(addr, [this, req, home, addr] {
-            eq().schedule(cfg().globalDirLatency,
-                          [this, req, home, addr] {
+    // Sample the evictor's LLC state now, at the requester, and let
+    // the packet carry it: the home-side handler must not reach into
+    // another socket's cache (cross-thread under the parallel
+    // kernel, and architecturally the writeback message carries the
+    // evictor's state anyway). Equivalent to the old home-side read:
+    // the block lock serializes every transaction that could change
+    // req's state for this block while the writeback is in flight.
+    const bool req_still_owner =
+        m.socket(req).llcState(addr) == CacheState::Modified;
+    sendData(req, home, [this, req, home, addr, req_still_owner] {
+        homeLocks[home].acquire(addr, [this, req, home, addr,
+                                       req_still_owner] {
+            queueAt(home).schedule(cfg().globalDirLatency,
+                                   [this, req, home, addr,
+                                    req_still_owner] {
                 m.socket(home).memory().write(addr,
                                               /*remote=*/req != home);
                 if (watchingBlock(addr))
-                    watchTrace(eq().now(), "putX", "from %u", req);
+                    watchTrace(queueAt(home).now(), "putX", "from %u",
+                               req);
                 DirEntry *e = dirs[home]->find(addr);
                 if (e && e->state == DirState::Modified &&
-                    e->owner == req &&
-                    m.socket(req).llcState(addr) !=
-                        CacheState::Modified) {
+                    e->owner == req && !req_still_owner) {
                     if (policy.putXKeepsSharer) {
                         // c3d-full-dir: the evicting socket retains a
                         // clean copy in its DRAM cache; keep it
@@ -411,8 +461,8 @@ DirectoryProtocol::dramCacheEvicted(SocketId req, Addr addr, bool dirty)
         // the directory entry (dirty designs only).
         sendData(req, home, [this, req, home, addr] {
             homeLocks[home].acquire(addr, [this, req, home, addr] {
-                eq().schedule(cfg().globalDirLatency,
-                              [this, req, home, addr] {
+                queueAt(home).schedule(cfg().globalDirLatency,
+                                       [this, req, home, addr] {
                     m.socket(home).memory().write(
                         addr, /*remote=*/req != home);
                     DirEntry *e = dirs[home]->find(addr);
@@ -431,15 +481,20 @@ DirectoryProtocol::dramCacheEvicted(SocketId req, Addr addr, bool dirty)
         return; // silent clean eviction (sparse / snoop designs)
 
     // Inclusive directory bookkeeping: clear the sharer bit unless
-    // the socket still holds the block on chip.
-    sendCtrl(req, home, [this, req, home, addr] {
-        homeLocks[home].acquire(addr, [this, req, home, addr] {
-            eq().schedule(cfg().globalDirLatency,
-                          [this, req, home, addr] {
+    // the socket still holds the block on chip. As with putX, the
+    // evictor's residual LLC state is sampled here and carried by the
+    // notification packet; the block lock keeps it valid until the
+    // directory update runs.
+    const bool req_gone =
+        m.socket(req).llcState(addr) == CacheState::Invalid;
+    sendCtrl(req, home, [this, req, home, addr, req_gone] {
+        homeLocks[home].acquire(addr, [this, req, home, addr,
+                                       req_gone] {
+            queueAt(home).schedule(cfg().globalDirLatency,
+                                   [this, req, home, addr,
+                                    req_gone] {
                 DirEntry *e = dirs[home]->find(addr);
-                if (e && e->state == DirState::Shared &&
-                    m.socket(req).llcState(addr) ==
-                        CacheState::Invalid) {
+                if (e && e->state == DirState::Shared && req_gone) {
                     e->removeSharer(req);
                     if (e->sharerCount() == 0)
                         dirs[home]->erase(addr);

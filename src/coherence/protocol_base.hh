@@ -55,21 +55,36 @@ class ProtocolBase : public GlobalProtocol
     }
 
   protected:
-    EventQueue &eq() { return m.eventQueue(); }
+    /**
+     * The queue socket @p s executes on. Protocol handlers are
+     * home-pinned under the parallel kernel: every piece of home
+     * state (directory slice, block locks, home memory) is only
+     * touched by events on the home's queue, so scheduling must
+     * always name the socket whose state the continuation reads.
+     */
+    EventQueue &queueAt(SocketId s) { return m.queueAt(s); }
     const SystemConfig &cfg() const { return m.config(); }
 
+    /**
+     * Packet helpers. @p cb runs at @p dst as the arrival event —
+     * it must only touch dst-side state. Forwarding templates so the
+     * callable lands directly in the event's inline storage instead
+     * of a std::function heap node.
+     */
+    template <typename F>
     void
-    sendCtrl(SocketId src, SocketId dst, std::function<void()> cb)
+    sendCtrl(SocketId src, SocketId dst, F &&cb)
     {
         m.interconnect().send(src, dst, PacketKind::Control,
-                              std::move(cb));
+                              std::forward<F>(cb));
     }
 
+    template <typename F>
     void
-    sendData(SocketId src, SocketId dst, std::function<void()> cb)
+    sendData(SocketId src, SocketId dst, F &&cb)
     {
         m.interconnect().send(src, dst, PacketKind::Data,
-                              std::move(cb));
+                              std::forward<F>(cb));
     }
 
     /**
@@ -82,15 +97,18 @@ class ProtocolBase : public GlobalProtocol
                       Addr addr, std::function<void(bool)> done)
     {
         if (targets.empty()) {
-            eq().schedule(0, [done = std::move(done)] { done(false); });
+            queueAt(home).schedule(0,
+                                   [done = std::move(done)] {
+                                       done(false);
+                                   });
             return;
         }
         auto state = std::make_shared<FanIn>();
         state->remaining = targets.size();
-        const Tick phase_start = eq().now();
-        state->done = [this, phase_start,
+        const Tick phase_start = queueAt(home).now();
+        state->done = [this, home, phase_start,
                        done = std::move(done)](bool dirty) {
-            invPhaseTime.sample(eq().now() - phase_start);
+            invPhaseTime.sample(queueAt(home).now() - phase_start);
             done(dirty);
         };
         for (SocketId t : targets) {

@@ -58,12 +58,28 @@ SnoopyProtocol::broadcastTransaction(SocketId req, Addr addr,
         homeLocks[home].acquire(
             addr, [this, req, home, addr, is_write, with_memory_read,
                    done = std::move(done)]() mutable {
+                // The join completes at the requester (every ack and
+                // data packet lands there), so the completion wrapper
+                // runs req-side. The home lock, however, is home
+                // state: releasing it from the requester both races
+                // under the parallel kernel and lets a later
+                // transaction's probes depart the ordering point
+                // before this transaction's fill has landed. Send an
+                // explicit completion notice back to the home and
+                // release on its arrival — the one extra control
+                // packet is the price of a real ordering point.
                 runBroadcast(req, home, addr, is_write,
                              with_memory_read,
-                             [this, home, addr,
+                             [this, req, home, addr,
                               done = std::move(done)] {
                     done();
-                    homeLocks[home].release(addr);
+                    if (req == home) {
+                        homeLocks[home].release(addr);
+                    } else {
+                        sendCtrl(req, home, [this, home, addr] {
+                            homeLocks[home].release(addr);
+                        });
+                    }
                 });
             });
     });
@@ -126,7 +142,10 @@ SnoopyProtocol::runBroadcast(SocketId req, SocketId home, Addr addr,
     }
 
     if (targets.empty() && !with_memory_read) {
-        eq().schedule(0, [join] { join->tryComplete(); });
+        // Single-socket machines only (othersThan(req) is never
+        // empty otherwise), so this stays on the sequential kernel;
+        // still pin to the home queue for uniformity.
+        queueAt(home).schedule(0, [join] { join->tryComplete(); });
     }
 }
 

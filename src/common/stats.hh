@@ -11,6 +11,8 @@
 #ifndef C3DSIM_COMMON_STATS_HH
 #define C3DSIM_COMMON_STATS_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -24,62 +26,156 @@ namespace c3d
 
 class StatGroup;
 
-/** A named 64-bit event counter. */
+/**
+ * A named 64-bit event counter.
+ *
+ * Increments are relaxed atomics so stats can be bumped from any
+ * kernel thread (the parallel per-socket kernel increments shared
+ * protocol counters from several workers). Addition commutes, so the
+ * final value is independent of thread interleaving — the property
+ * the byte-identity harness relies on. Counters are movable (not
+ * copyable) because several components hold them in vectors sized at
+ * construction time.
+ */
 class Counter
 {
   public:
     Counter() = default;
 
+    Counter(Counter &&other) noexcept
+        : statName(std::move(other.statName)),
+          statDesc(std::move(other.statDesc)),
+          count(other.count.load(std::memory_order_relaxed))
+    {}
+
+    Counter &
+    operator=(Counter &&other) noexcept
+    {
+        statName = std::move(other.statName);
+        statDesc = std::move(other.statDesc);
+        count.store(other.count.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        return *this;
+    }
+
     /** Register this counter under @p name in @p group. */
     void init(StatGroup *group, std::string name, std::string desc = "");
 
-    Counter &operator++() { ++count; return *this; }
-    Counter &operator+=(std::uint64_t n) { count += n; return *this; }
+    Counter &
+    operator++()
+    {
+        count.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
 
-    std::uint64_t value() const { return count; }
-    void reset() { count = 0; }
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        count.fetch_add(n, std::memory_order_relaxed);
+        return *this;
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return count.load(std::memory_order_relaxed);
+    }
+
+    void reset() { count.store(0, std::memory_order_relaxed); }
     const std::string &name() const { return statName; }
     const std::string &desc() const { return statDesc; }
 
   private:
     std::string statName;
     std::string statDesc;
-    std::uint64_t count = 0;
+    std::atomic<std::uint64_t> count{0};
 };
 
-/** A histogram with fixed power-of-two bucketing of sample values. */
+/**
+ * A histogram with fixed power-of-two bucketing of sample values.
+ *
+ * Like Counter, sampling uses relaxed atomics (bucket counts and sums
+ * commute; min/max converge to the same extremum under any
+ * interleaving via CAS loops), so the aggregate is deterministic no
+ * matter which kernel thread recorded each sample.
+ */
 class Histogram
 {
   public:
-    Histogram() : buckets(64, 0) {}
+    Histogram() = default;
+
+    Histogram(Histogram &&other) noexcept
+        : statName(std::move(other.statName)),
+          statDesc(std::move(other.statDesc)),
+          samples(other.samples.load(std::memory_order_relaxed)),
+          total(other.total.load(std::memory_order_relaxed)),
+          minValue(other.minValue.load(std::memory_order_relaxed)),
+          maxValue(other.maxValue.load(std::memory_order_relaxed))
+    {
+        for (std::size_t b = 0; b < buckets.size(); ++b)
+            buckets[b].store(
+                other.buckets[b].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    }
 
     void init(StatGroup *group, std::string name, std::string desc = "");
 
     void
     sample(std::uint64_t value)
     {
-        ++samples;
-        total += value;
-        if (samples == 1 || value < minValue)
-            minValue = value;
-        if (value > maxValue)
-            maxValue = value;
-        ++buckets[bucketOf(value)];
+        samples.fetch_add(1, std::memory_order_relaxed);
+        total.fetch_add(value, std::memory_order_relaxed);
+        std::uint64_t lo = minValue.load(std::memory_order_relaxed);
+        while (value < lo &&
+               !minValue.compare_exchange_weak(
+                   lo, value, std::memory_order_relaxed)) {
+        }
+        std::uint64_t hi = maxValue.load(std::memory_order_relaxed);
+        while (value > hi &&
+               !maxValue.compare_exchange_weak(
+                   hi, value, std::memory_order_relaxed)) {
+        }
+        buckets[bucketOf(value)].fetch_add(1,
+                                           std::memory_order_relaxed);
     }
 
-    std::uint64_t count() const { return samples; }
-    std::uint64_t sum() const { return total; }
-    std::uint64_t min() const { return samples ? minValue : 0; }
-    std::uint64_t max() const { return maxValue; }
+    std::uint64_t
+    count() const
+    {
+        return samples.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    sum() const
+    {
+        return total.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    min() const
+    {
+        return count() ? minValue.load(std::memory_order_relaxed) : 0;
+    }
+
+    std::uint64_t
+    max() const
+    {
+        return maxValue.load(std::memory_order_relaxed);
+    }
 
     double
     mean() const
     {
-        return samples ? static_cast<double>(total) / samples : 0.0;
+        const std::uint64_t n = count();
+        return n ? static_cast<double>(sum()) / n : 0.0;
     }
 
     /** Count of samples in power-of-two bucket @p idx. */
-    std::uint64_t bucket(unsigned idx) const { return buckets.at(idx); }
+    std::uint64_t
+    bucket(unsigned idx) const
+    {
+        return buckets.at(idx).load(std::memory_order_relaxed);
+    }
 
     /**
      * Approximate p-th percentile of the sampled values.
@@ -97,9 +193,12 @@ class Histogram
     void
     reset()
     {
-        samples = total = maxValue = 0;
-        minValue = 0;
-        buckets.assign(64, 0);
+        samples.store(0, std::memory_order_relaxed);
+        total.store(0, std::memory_order_relaxed);
+        minValue.store(~std::uint64_t(0), std::memory_order_relaxed);
+        maxValue.store(0, std::memory_order_relaxed);
+        for (auto &b : buckets)
+            b.store(0, std::memory_order_relaxed);
     }
 
     const std::string &name() const { return statName; }
@@ -115,11 +214,13 @@ class Histogram
 
     std::string statName;
     std::string statDesc;
-    std::uint64_t samples = 0;
-    std::uint64_t total = 0;
-    std::uint64_t minValue = 0;
-    std::uint64_t maxValue = 0;
-    std::vector<std::uint64_t> buckets;
+    std::atomic<std::uint64_t> samples{0};
+    std::atomic<std::uint64_t> total{0};
+    // Sentinel: the first sample always wins the CAS race, so the
+    // min is interleaving-independent. min() masks the sentinel.
+    std::atomic<std::uint64_t> minValue{~std::uint64_t(0)};
+    std::atomic<std::uint64_t> maxValue{0};
+    std::array<std::atomic<std::uint64_t>, 64> buckets{};
 };
 
 /**

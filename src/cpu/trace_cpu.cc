@@ -15,7 +15,9 @@ TraceCpu::TraceCpu(Machine &machine, CoreId global_core,
       globalCore(global_core),
       localCore(global_core % machine.config().coresPerSocket),
       mySocket(global_core / machine.config().coresPerSocket),
-      gen(workload)
+      gen(workload),
+      eq(machine.queueAt(global_core /
+                         machine.config().coresPerSocket))
 {
     const std::string prefix = "cpu" + std::to_string(global_core);
     instsRetired.init(stats, prefix + ".instructions",
@@ -47,7 +49,7 @@ TraceCpu::start(std::uint64_t warmup_ops, std::uint64_t measure_ops,
     if (totalOps == 0) {
         warmed = true;
         doneFired = true;
-        m.eventQueue().schedule(0, [this] {
+        eq.schedule(0, [this] {
             if (onWarm)
                 onWarm();
             if (onDone)
@@ -55,7 +57,7 @@ TraceCpu::start(std::uint64_t warmup_ops, std::uint64_t measure_ops,
         });
         return;
     }
-    m.eventQueue().schedule(0, [this] { nextOp(); });
+    eq.schedule(0, [this] { nextOp(); });
 }
 
 void
@@ -73,13 +75,13 @@ TraceCpu::nextOp()
     if (barrier && barrierInterval && issued >= nextBarrierAt &&
         issued != 0) {
         nextBarrierAt = issued + barrierInterval;
-        barrier->arrive([this] { nextOp(); });
+        barrier->arrive(globalCore, [this] { nextOp(); });
         return;
     }
 
     if (issued == warmupOps && !warmed) {
         warmed = true;
-        warmTick += m.eventQueue().now();
+        warmTick += eq.now();
         if (onWarm)
             onWarm();
     }
@@ -106,7 +108,7 @@ TraceCpu::nextOp()
 
     const Tick delay = op.gap + extra;
     if (delay > 0) {
-        m.eventQueue().schedule(delay, [this, op, private_page] {
+        eq.schedule(delay, [this, op, private_page] {
             issueMem(op, private_page);
         });
     } else {
@@ -117,6 +119,23 @@ TraceCpu::nextOp()
 void
 TraceCpu::issueMem(const TraceOp &op, bool private_page)
 {
+    // Deferred first-touch (multi-queue kernel): an access to a page
+    // with no home yet cannot place it inline — placement mutates the
+    // shared page map, and a real first touch takes an OS page fault
+    // before the access proceeds anyway. File a claim stamped with
+    // the issue tick and retry at the next cell boundary, after the
+    // barrier master has committed all claims in (tick, core) order.
+    // The retry re-runs this gate and then finds the page resolved.
+    PageMapper &pm = m.pageMapper();
+    if (pm.deferredTouch() && !pm.resolved(op.addr)) {
+        pm.claim(mySocket, op.addr, eq.now(), globalCore);
+        eq.scheduleAt(m.cellBoundaryAfter(eq.now()),
+                      [this, op, private_page] {
+                          issueMem(op, private_page);
+                      });
+        return;
+    }
+
     if (op.op == MemOp::Read) {
         ++loadsIssued;
         // TSO: loads bypass queued stores; forward at block grain.
@@ -124,8 +143,8 @@ TraceCpu::issueMem(const TraceOp &op, bool private_page)
         if (std::find(storeQueue.begin(), storeQueue.end(), blk) !=
             storeQueue.end()) {
             ++forwardedLoads;
-            m.eventQueue().schedule(m.config().l1Latency,
-                                    [this] { opComplete(); });
+            eq.schedule(m.config().l1Latency,
+                        [this] { opComplete(); });
             return;
         }
         socket.load(localCore, op.addr, [this] { opComplete(); });
@@ -151,7 +170,7 @@ TraceCpu::pushStore(Addr addr, bool private_page)
     storeQueuePrivate.push_back(private_page);
     drainStoreQueue();
     // The store retires into the queue in one cycle.
-    m.eventQueue().schedule(1, [this] { opComplete(); });
+    eq.schedule(1, [this] { opComplete(); });
 }
 
 void
@@ -186,7 +205,7 @@ TraceCpu::maybeFinish()
 {
     if (issued == totalOps && storeQueue.empty() && !doneFired) {
         doneFired = true;
-        finishTick += m.eventQueue().now();
+        finishTick += eq.now();
         if (onDone)
             onDone();
     }

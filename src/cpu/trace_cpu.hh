@@ -21,6 +21,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/barrier.hh"
+#include "sim/event_queue.hh"
 #include "trace/workload.hh"
 
 namespace c3d
@@ -86,6 +87,8 @@ class TraceCpu
     const std::uint32_t localCore;
     const SocketId mySocket;
     Workload &gen;
+    /** The kernel queue this core's events execute on. */
+    EventQueue &eq;
 
     std::uint64_t warmupOps = 0;
     std::uint64_t totalOps = 0;

@@ -31,8 +31,14 @@ SweepEngine::setShard(unsigned index, unsigned count)
 RunResult
 SweepEngine::simulateSpec(const RunSpec &spec)
 {
+    return simulateSpec(spec, KernelOptions{});
+}
+
+RunResult
+SweepEngine::simulateSpec(const RunSpec &spec, KernelOptions kernel)
+{
     return runWorkload(spec.cfg, spec.profile.scaled(spec.scale),
-                       spec.warmupOps, spec.measureOps);
+                       spec.warmupOps, spec.measureOps, kernel);
 }
 
 ResultRow
@@ -63,7 +69,10 @@ SweepEngine::makeRow(const RunSpec &spec, const RunResult &metrics)
 ResultTable
 SweepEngine::run(const SweepGrid &grid) const
 {
-    return run(grid, &SweepEngine::simulateSpec);
+    const KernelOptions k = kernelOpts;
+    return run(grid, [k](const RunSpec &spec) {
+        return simulateSpec(spec, k);
+    });
 }
 
 ResultTable

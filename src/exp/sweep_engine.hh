@@ -65,6 +65,16 @@ class SweepEngine
 
     unsigned jobs() const { return workerCount; }
 
+    /**
+     * Kernel selection forwarded to every simulated run. NOT part of
+     * row identity: the parallel kernel reproduces the sequential
+     * oracle's rows byte-for-byte (tests/test_parallel_kernel.cc),
+     * so rows do not record which kernel produced them — exactly as
+     * --jobs does not appear in rows.
+     */
+    void setKernelOptions(KernelOptions k) { kernelOpts = k; }
+    KernelOptions kernelOptions() const { return kernelOpts; }
+
     void setProgress(ProgressFn fn) { progress = std::move(fn); }
 
     void setRowSink(RowFn fn) { rowSink = std::move(fn); }
@@ -114,6 +124,10 @@ class SweepEngine
      */
     static RunResult simulateSpec(const RunSpec &spec);
 
+    /** simulateSpec with an explicit kernel selection. */
+    static RunResult simulateSpec(const RunSpec &spec,
+                                  KernelOptions kernel);
+
     /** Build the identity-labeled result row for a finished run. */
     static ResultRow makeRow(const RunSpec &spec,
                              const RunResult &metrics);
@@ -122,6 +136,7 @@ class SweepEngine
     unsigned workerCount;
     unsigned shardIdx = 0;
     unsigned shardCnt = 1;
+    KernelOptions kernelOpts;
     ProgressFn progress;
     RowFn rowSink;
     std::unordered_map<std::size_t, ResultRow> prefilled;

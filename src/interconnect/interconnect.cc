@@ -1,11 +1,32 @@
 #include "interconnect/interconnect.hh"
 
+#include "sim/slab.hh"
+
 namespace c3d
 {
 
-Interconnect::Interconnect(EventQueue &eq, const SystemConfig &cfg,
+namespace
+{
+
+/**
+ * Holds a packet's arrival continuation across intermediate hops.
+ * Nesting the Callback inside the hop event directly would overflow
+ * the inline-capture budget (a Callback is larger than InlineBytes),
+ * so multi-hop packets park it in a slab node and the hop event
+ * carries only the node pointer. The node may be freed by a
+ * different kernel thread than the one that allocated it (the packet
+ * moved sockets); the slab is built for that.
+ */
+struct HopNode
+{
+    EventQueue::Callback cb;
+};
+
+} // namespace
+
+Interconnect::Interconnect(QueueRouter &rt, const SystemConfig &cfg,
                            StatGroup *stats)
-    : eventq(eq),
+    : router(rt),
       numSockets(cfg.numSockets),
       hopLatency(cfg.zeroHopLatency ? 0 : cfg.hopLatency),
       controlBytesPerPkt(cfg.controlPacketBytes),
@@ -81,11 +102,14 @@ Interconnect::baseLatency(SocketId src, SocketId dst) const
 
 void
 Interconnect::send(SocketId src, SocketId dst, PacketKind kind,
-                   std::function<void()> onArrival)
+                   EventQueue::Callback onArrival)
 {
     if (src == dst) {
-        // Same-socket "delivery": no network involved.
-        eventq.schedule(0, std::move(onArrival));
+        // Same-socket "delivery": no network involved, but still an
+        // event on src's own queue — never an inline call on the
+        // caller's stack (reentrancy hazard, and an ordering bug
+        // under per-socket queues). Pinned by test_interconnect.
+        router.at(src).schedule(0, std::move(onArrival));
         return;
     }
 
@@ -106,21 +130,31 @@ Interconnect::send(SocketId src, SocketId dst, PacketKind kind,
 
 void
 Interconnect::forwardHop(SocketId at, SocketId dst, std::uint32_t bytes,
-                         std::function<void()> onArrival)
+                         EventQueue::Callback onArrival)
 {
-    if (at == dst) {
-        onArrival();
-        return;
-    }
+    c3d_assert(at != dst, "forwardHop with no hop to take");
     const SocketId next = nextOnPath(at, dst);
     Channel &link = links[linkIndex(at, next)];
-    const Tick done = link.acquire(eventq.now(), bytes) + hopLatency;
+    const Tick done =
+        link.acquire(router.at(at).now(), bytes) + hopLatency;
     ++hopTraversals;
     linkBytes += bytes;
-    eventq.scheduleAt(done, [this, next, dst, bytes,
-                             onArrival = std::move(onArrival)]() mutable {
-        forwardHop(next, dst, bytes, std::move(onArrival));
-    });
+    if (next == dst) {
+        // Final hop: the arrival event IS the user's continuation.
+        router.inject(at, dst, done, std::move(onArrival));
+        return;
+    }
+    // Intermediate hop: park the continuation in a slab node so the
+    // hop event itself stays within the inline-capture budget.
+    auto *node = static_cast<HopNode *>(slab::alloc(sizeof(HopNode)));
+    ::new (node) HopNode{std::move(onArrival)};
+    router.inject(at, next, done,
+                  [this, next, dst, bytes, node] {
+                      EventQueue::Callback cb = std::move(node->cb);
+                      node->~HopNode();
+                      slab::free(node, sizeof(HopNode));
+                      forwardHop(next, dst, bytes, std::move(cb));
+                  });
 }
 
 std::uint64_t

@@ -13,7 +13,6 @@
 #define C3DSIM_INTERCONNECT_INTERCONNECT_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "common/types.hh"
 #include "interconnect/channel.hh"
 #include "sim/event_queue.hh"
+#include "sim/queue_router.hh"
 
 namespace c3d
 {
@@ -33,25 +33,39 @@ enum class PacketKind : std::uint8_t
     Data,    //!< cache-line-carrying responses (80 B)
 };
 
-/** The socket-to-socket network. */
+/**
+ * The socket-to-socket network.
+ *
+ * Concurrency contract (parallel kernel): send()/forwardHop() must be
+ * called from the thread executing the source socket `at`. Each
+ * directed link's Channel is only ever acquired by events executing
+ * at its source endpoint, so channel state needs no locking; the
+ * traffic counters are relaxed atomics. Cross-socket delivery goes
+ * through QueueRouter::inject — the only cross-queue edge — and every
+ * injected arrival lands at least one hop latency in the future,
+ * which is exactly the lookahead window the cell executor
+ * synchronizes on.
+ */
 class Interconnect
 {
   public:
     /**
-     * @param eq     shared event queue
+     * @param router per-socket event-queue router
      * @param cfg    machine configuration (topology, latencies)
      * @param stats  stat registry
      */
-    Interconnect(EventQueue &eq, const SystemConfig &cfg,
+    Interconnect(QueueRouter &router, const SystemConfig &cfg,
                  StatGroup *stats);
 
     /**
      * Send a packet from @p src to @p dst, invoking @p onArrival when
-     * it is delivered. @p src may equal @p dst, in which case delivery
-     * is immediate (no hops, no traffic counted).
+     * it is delivered. @p src may equal @p dst, in which case the
+     * delivery is a zero-delay event on src's own queue — never an
+     * inline call, so callers can't reenter themselves through a
+     * same-socket response.
      */
     void send(SocketId src, SocketId dst, PacketKind kind,
-              std::function<void()> onArrival);
+              EventQueue::Callback onArrival);
 
     /** Number of ring/P2P hops between two sockets. */
     std::uint32_t hopCount(SocketId src, SocketId dst) const;
@@ -78,9 +92,9 @@ class Interconnect
 
     /** Store-and-forward one hop; recurses until delivery. */
     void forwardHop(SocketId at, SocketId dst, std::uint32_t bytes,
-                    std::function<void()> onArrival);
+                    EventQueue::Callback onArrival);
 
-    EventQueue &eventq;
+    QueueRouter &router;
     const std::uint32_t numSockets;
     const Tick hopLatency;
     const std::uint32_t controlBytesPerPkt;

@@ -14,6 +14,7 @@
 #ifndef C3DSIM_MAPPING_PAGE_MAPPER_HH
 #define C3DSIM_MAPPING_PAGE_MAPPER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -25,13 +26,29 @@
 namespace c3d
 {
 
-/** Assigns every page a home socket. */
+/**
+ * Assigns every page a home socket.
+ *
+ * Under the parallel kernel first-touch placement is deferred
+ * (@p deferred_touch): cores cannot mutate the shared page map
+ * mid-cell from several threads, and the map-at-access-time shortcut
+ * was never architecturally honest anyway — a real first touch takes
+ * an OS page fault before the access can proceed. Instead, a core
+ * touching an unresolved page files a claim (timestamped with its
+ * issue tick) and retries the access at the next synchronization
+ * boundary; the cell executor's single-threaded barrier hook commits
+ * all claims in (tick, core) order, so placement is deterministic for
+ * any worker count. The page map is then read-only during cell
+ * execution.
+ */
 class PageMapper
 {
   public:
     PageMapper(MappingPolicy policy, std::uint32_t num_sockets,
-               StatGroup *stats)
-        : policy(policy), numSockets(num_sockets)
+               StatGroup *stats, bool deferred_touch = false)
+        : policy(policy), numSockets(num_sockets),
+          deferred(deferred_touch &&
+                   policy != MappingPolicy::Interleave)
     {
         pagesMapped.init(stats, "mapper.pages_mapped",
                          "distinct pages placed");
@@ -42,6 +59,8 @@ class PageMapper
                 "mapper.socket" + std::to_string(s) + "_pages",
                 "pages homed at this socket");
         }
+        if (deferred)
+            claimBufs.resize(num_sockets);
     }
 
     /**
@@ -71,7 +90,61 @@ class PageMapper
         auto it = map.find(page);
         if (it != map.end())
             return it->second;
+        c3d_assert(!deferred,
+                   "unresolved page reached homeOf under deferred "
+                   "first-touch; the issue path must claim first");
         return mapIfNew(page, socket);
+    }
+
+    /** True when first-touch placement goes through claim(). */
+    bool deferredTouch() const { return deferred; }
+
+    /** True when homeOf() can answer without placing a page. */
+    bool
+    resolved(Addr addr) const
+    {
+        if (policy == MappingPolicy::Interleave)
+            return true;
+        return map.find(pageNumber(addr)) != map.end();
+    }
+
+    /**
+     * File a first-touch claim from @p socket for @p addr (deferred
+     * mode). Called from the claiming socket's kernel thread; the
+     * per-socket buffers keep filing contention-free.
+     */
+    void
+    claim(SocketId socket, Addr addr, Tick tick, CoreId core)
+    {
+        c3d_assert(deferred, "claim() outside deferred mode");
+        claimBufs[socket].push_back(
+            Claim{tick, core, pageNumber(addr), socket});
+    }
+
+    /**
+     * Place all pending claims, first touch winning in (issue tick,
+     * core) order — the same winner a single-threaded kernel with an
+     * OS fault queue would pick, independent of worker count. Runs
+     * on the cell executor's barrier master only.
+     */
+    void
+    commitClaims()
+    {
+        pendingClaims.clear();
+        for (auto &buf : claimBufs) {
+            pendingClaims.insert(pendingClaims.end(), buf.begin(),
+                                 buf.end());
+            buf.clear();
+        }
+        std::sort(pendingClaims.begin(), pendingClaims.end(),
+                  [](const Claim &a, const Claim &b) {
+                      if (a.tick != b.tick)
+                          return a.tick < b.tick;
+                      return a.core < b.core;
+                  });
+        for (const Claim &c : pendingClaims)
+            mapIfNew(c.page, c.socket);
+        pendingClaims.clear();
     }
 
     /** Home of an already-placed page; interleave for unmapped. */
@@ -106,11 +179,23 @@ class PageMapper
         return it->second;
     }
 
+    struct Claim
+    {
+        Tick tick;
+        CoreId core;
+        Addr page;
+        SocketId socket;
+    };
+
     const MappingPolicy policy;
     const std::uint32_t numSockets;
+    const bool deferred;
     std::unordered_map<Addr, SocketId> map;
     Counter pagesMapped;
     std::vector<Counter> perSocketPages;
+    /** claimBufs[socket]: claims filed by that socket's thread. */
+    std::vector<std::vector<Claim>> claimBufs;
+    std::vector<Claim> pendingClaims; //!< commitClaims scratch
 };
 
 } // namespace c3d

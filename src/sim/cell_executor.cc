@@ -1,0 +1,130 @@
+#include "sim/cell_executor.hh"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace c3d
+{
+
+CellExecutor::CellExecutor(Machine &machine, unsigned num_threads)
+    : m(machine),
+      numThreads(std::max(1u,
+                          std::min<unsigned>(num_threads,
+                                             machine.numSockets()))),
+      cellW(machine.cellWidth())
+{
+    c3d_assert(m.kernelMode() == KernelMode::MultiQueue,
+               "CellExecutor needs a MultiQueue machine");
+    c3d_assert(cellW > 0, "cell executor needs a hop latency");
+}
+
+void
+CellExecutor::run(const BoundaryHook &boundary)
+{
+    cellBase = 0;
+    flushParity = 0;
+    stop = false;
+    workDone = false;
+    cells = 0;
+    arrived.store(0, std::memory_order_relaxed);
+    sense.store(false, std::memory_order_relaxed);
+
+    if (numThreads == 1) {
+        workerLoop(0, boundary);
+        return;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(numThreads - 1);
+    for (unsigned wid = 1; wid < numThreads; ++wid) {
+        pool.emplace_back([this, wid, &boundary] {
+            workerLoop(wid, boundary);
+        });
+    }
+    workerLoop(0, boundary);
+    for (auto &t : pool)
+        t.join();
+}
+
+void
+CellExecutor::workerLoop(unsigned wid, const BoundaryHook &boundary)
+{
+    const std::uint32_t sockets = m.numSockets();
+    while (true) {
+        // Execute this worker's queues through the current cell.
+        // Causal closure makes the per-socket order irrelevant.
+        const Tick cell_end = cellBase + cellW - 1;
+        for (SocketId s = wid; s < sockets; s += numThreads)
+            m.queueAt(s).run(cell_end);
+
+        // One barrier per cell; last arriver is the master.
+        const bool my_sense = !sense.load(std::memory_order_relaxed);
+        if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            numThreads) {
+            masterStep(boundary);
+            arrived.store(0, std::memory_order_relaxed);
+            sense.store(my_sense, std::memory_order_release);
+        } else {
+            // Spin with a yield: cells are short, so a futex wait
+            // would cost more than it saves on a loaded host, but a
+            // pure spin starves the master when workers outnumber
+            // hardware threads (CI containers, TSan runs).
+            while (sense.load(std::memory_order_acquire) != my_sense)
+                std::this_thread::yield();
+        }
+
+        if (stop)
+            return;
+
+        // Flush the sealed parity into the queues this worker owns.
+        // Nobody else touches them: flushTo(dst) runs only on dst's
+        // owner, and the next parity flip waits for every worker at
+        // the next barrier.
+        for (SocketId s = wid; s < sockets; s += numThreads)
+            m.queueRouter().flushTo(s, flushParity);
+    }
+}
+
+void
+CellExecutor::masterStep(const BoundaryHook &boundary)
+{
+    ++cells;
+    const Tick q = cellBase + cellW;
+    QueueRouter &router = m.queueRouter();
+
+    // Deferred first-touch placement, then the runner's hook (which
+    // may schedule barrier resumes at q into any queue — their
+    // owners are parked at the barrier).
+    m.pageMapper().commitClaims();
+    if (boundary)
+        workDone = boundary(q);
+
+    // Cell skip: jump straight to the cell holding the earliest
+    // pending event, including the deliveries staged this cell.
+    Tick min_next = router.minPending(router.currentParity());
+    for (SocketId s = 0; s < m.numSockets(); ++s) {
+        Tick t;
+        if (m.queueAt(s).peekNextTick(t))
+            min_next = std::min(min_next, t);
+    }
+
+    if (min_next == MaxTick) {
+        if (!workDone) {
+            c3d_panic("parallel kernel drained with simulated work "
+                      "outstanding (lost wakeup?)");
+        }
+        stop = true;
+        return;
+    }
+
+    c3d_assert(min_next >= q,
+               "event below the lookahead horizon escaped its cell");
+    cellBase = (min_next / cellW) * cellW;
+    flushParity = router.currentParity();
+    router.flipParity();
+}
+
+} // namespace c3d

@@ -113,6 +113,18 @@ class EventQueue
     }
 
     /**
+     * Tick of the earliest pending event, if any. Lets the parallel
+     * kernel's lookahead skip empty synchronization cells without
+     * executing anything.
+     */
+    bool
+    peekNextTick(Tick &t) const
+    {
+        std::size_t idx;
+        return peekNext(idx, t);
+    }
+
+    /**
      * Run events until the queue drains or @p maxTick is passed.
      * Events scheduled exactly at @p maxTick still run.
      * @return true if the queue drained, false if maxTick stopped us.

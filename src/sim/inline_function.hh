@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "sim/slab.hh"
 
 namespace c3d
 {
@@ -58,8 +59,24 @@ class InlineFunction
             ::new (static_cast<void *>(storage)) Fn(std::forward<F>(f));
             ops = &InlineModel<Fn>::ops;
         } else {
-            ::new (static_cast<void *>(storage))
-                (Fn *)(new Fn(std::forward<F>(f)));
+            // Spilled captures recycle through the event-path slab
+            // (fixed small sizes, freed at event rates, possibly on
+            // a different kernel thread than the allocating one).
+            // Over-aligned callables keep plain new, which honors
+            // extended alignment.
+            Fn *p;
+            if constexpr (HeapModel<Fn>::slabBacked) {
+                void *mem = slab::alloc(sizeof(Fn));
+                try {
+                    p = ::new (mem) Fn(std::forward<F>(f));
+                } catch (...) {
+                    slab::free(mem, sizeof(Fn));
+                    throw;
+                }
+            } else {
+                p = new Fn(std::forward<F>(f));
+            }
+            ::new (static_cast<void *>(storage)) (Fn *)(p);
             ops = &HeapModel<Fn>::ops;
         }
     }
@@ -135,6 +152,8 @@ class InlineFunction
     template <typename Fn>
     struct HeapModel
     {
+        static constexpr bool slabBacked =
+            alignof(Fn) <= alignof(std::max_align_t);
         static Fn *&at(void *s) { return *std::launder(
             reinterpret_cast<Fn **>(s)); }
         static void invoke(void *s) { (*at(s))(); }
@@ -143,7 +162,17 @@ class InlineFunction
         {
             ::new (dst) (Fn *)(at(src));
         }
-        static void destroy(void *s) noexcept { delete at(s); }
+        static void
+        destroy(void *s) noexcept
+        {
+            Fn *p = at(s);
+            if constexpr (slabBacked) {
+                p->~Fn();
+                slab::free(p, sizeof(Fn));
+            } else {
+                delete p;
+            }
+        }
         static constexpr Ops ops{&invoke, &relocate, &destroy, true};
     };
 

@@ -21,23 +21,100 @@
 #include "mapping/page_classifier.hh"
 #include "mapping/page_mapper.hh"
 #include "sim/event_queue.hh"
+#include "sim/queue_router.hh"
 #include "sim/socket.hh"
 
 namespace c3d
 {
 
+/**
+ * Which kernel drives the machine.
+ *
+ * SingleQueue is the classic sequential kernel: one EventQueue for
+ * the whole machine. MultiQueue gives every socket its own queue so
+ * the cell executor (sim/cell_executor.hh) can advance sockets on a
+ * thread pool under conservative lookahead; running the MultiQueue
+ * kernel with one worker is the sequential differential oracle for
+ * the parallel runs. Directly constructed Machines default to
+ * SingleQueue; the Runner opts eligible configurations into
+ * MultiQueue (see Machine::parallelKernelEligible).
+ */
+enum class KernelMode
+{
+    SingleQueue,
+    MultiQueue,
+};
+
 /** A complete multi-socket system. */
 class Machine
 {
   public:
-    explicit Machine(const SystemConfig &config);
+    explicit Machine(const SystemConfig &config,
+                     KernelMode mode = KernelMode::SingleQueue);
     ~Machine();
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 
     const SystemConfig &config() const { return cfg; }
-    EventQueue &eventQueue() { return eventq; }
+    KernelMode kernelMode() const { return mode; }
+
+    /**
+     * The machine-wide queue of the sequential kernel. Meaningful
+     * only in SingleQueue mode; multi-queue callers must use
+     * queueAt()/queueRouter().
+     */
+    EventQueue &
+    eventQueue()
+    {
+        c3d_assert(mode == KernelMode::SingleQueue,
+                   "eventQueue() on a multi-queue machine; use "
+                   "queueAt(socket)");
+        return *queues[0];
+    }
+
+    /** The queue events for socket @p s execute on (either mode). */
+    EventQueue &queueAt(SocketId s) { return router_.at(s); }
+    QueueRouter &queueRouter() { return router_; }
+
+    /**
+     * Conservative-lookahead cell width: the minimum cross-socket
+     * delivery latency (one hop). Every QueueRouter::inject lands at
+     * least this far in the future, so cells [kW, (k+1)W) are
+     * causally closed. MultiQueue mode only.
+     */
+    Tick cellWidth() const { return cellW; }
+
+    /** First cell boundary strictly after @p t. */
+    Tick
+    cellBoundaryAfter(Tick t) const
+    {
+        c3d_assert(cellW > 0, "cell geometry needs a hop latency");
+        return (t / cellW + 1) * cellW;
+    }
+
+    /**
+     * Whether @p config can run on the MultiQueue kernel: it needs
+     * ≥2 sockets (otherwise there is nothing to parallelize), a
+     * non-zero hop latency (the lookahead window), and no TLB page
+     * classification (a machine-global table serialized on every
+     * access). Ineligible configs run the classic sequential kernel.
+     */
+    static bool
+    parallelKernelEligible(const SystemConfig &config)
+    {
+        return config.numSockets >= 2 && !config.zeroHopLatency &&
+               config.hopLatency >= 1 &&
+               !config.tlbPageClassification;
+    }
+
+    /** Events executed across all kernel queues. */
+    std::uint64_t totalEventsExecuted() const;
+    /** Heap-fallback callbacks across all kernel queues. */
+    std::uint64_t totalHeapCallbackEvents() const;
+    /** Events still pending across all kernel queues. */
+    std::uint64_t totalPendingEvents() const;
+
     StatGroup &stats() { return statGroup; }
     const StatGroup &stats() const { return statGroup; }
 
@@ -70,7 +147,11 @@ class Machine
 
   private:
     const SystemConfig cfg;
-    EventQueue eventq;
+    const KernelMode mode;
+    const Tick cellW;
+    /** One queue (SingleQueue) or one per socket (MultiQueue). */
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    QueueRouter router_;
     StatGroup statGroup;
     std::unique_ptr<Interconnect> noc;
     std::unique_ptr<PageMapper> mapper;

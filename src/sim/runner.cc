@@ -1,14 +1,23 @@
 #include "sim/runner.hh"
 
+#include <atomic>
+#include <thread>
+
 #include "common/log.hh"
+#include "sim/cell_executor.hh"
 #include "trace/trace_file.hh"
 #include "workload/composed_workload.hh"
 
 namespace c3d
 {
 
-Runner::Runner(const SystemConfig &cfg, Workload &wl)
-    : m(std::make_unique<Machine>(cfg)), workload(wl)
+Runner::Runner(const SystemConfig &cfg, Workload &wl,
+               KernelOptions kernel_opts)
+    : m(std::make_unique<Machine>(
+          cfg, Machine::parallelKernelEligible(cfg)
+                   ? KernelMode::MultiQueue
+                   : KernelMode::SingleQueue)),
+      workload(wl), kernel(kernel_opts)
 {
     // FT1's serial-phase placement happens before any timed access.
     workload.preTouchPages(m->pageMapper());
@@ -56,6 +65,9 @@ Runner::enableTenantTracking(std::vector<std::int32_t> core_tenant,
 RunResult
 Runner::run(std::uint64_t warmup_ops, std::uint64_t measure_ops)
 {
+    if (m->kernelMode() == KernelMode::MultiQueue)
+        return runMultiQueue(warmup_ops, measure_ops);
+
     const std::uint32_t total = m->config().totalCores();
     const std::uint32_t active = workload.activeCores(total);
 
@@ -103,8 +115,99 @@ Runner::run(std::uint64_t warmup_ops, std::uint64_t measure_ops)
     // belongs to the measured work).
     eq.run();
 
+    return collectResult(end - measure_start);
+}
+
+RunResult
+Runner::runMultiQueue(std::uint64_t warmup_ops,
+                      std::uint64_t measure_ops)
+{
+    const SystemConfig &cfg = m->config();
+    const std::uint32_t total = cfg.totalCores();
+    const std::uint32_t active = workload.activeCores(total);
+
+    // Cores decrement these from their kernel threads; the cell
+    // barrier publishes them to the boundary master.
+    std::atomic<std::uint32_t> warm_remaining{active};
+    std::atomic<bool> warm_pending{false};
+    std::atomic<std::uint32_t> done_remaining{active};
+    Tick measure_start = 0;
+
+    const std::uint64_t barrier_interval = workload.barrierInterval();
+    const bool use_barrier = barrier_interval && active > 1;
+    if (use_barrier) {
+        barrier.init(active, &m->stats(), "barrier");
+        barrier.enableQuantized();
+        for (CoreId c = 0; c < active; ++c)
+            cpus[c]->setBarrier(&barrier, barrier_interval);
+    }
+
+    for (CoreId c = 0; c < total; ++c) {
+        const bool runs = c < active;
+        cpus[c]->start(
+            runs ? warmup_ops : 0, runs ? measure_ops : 0,
+            [&warm_remaining, &warm_pending, runs] {
+                if (!runs)
+                    return;
+                // The reset itself is deferred to the next cell
+                // boundary: it touches every stat while other
+                // sockets' threads are mid-cell.
+                if (warm_remaining.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1)
+                    warm_pending.store(true,
+                                       std::memory_order_release);
+            },
+            [&done_remaining, runs] {
+                if (runs)
+                    done_remaining.fetch_sub(
+                        1, std::memory_order_acq_rel);
+            });
+    }
+
+    unsigned threads = 1;
+    if (kernel.parallel) {
+        threads = kernel.threads
+            ? kernel.threads
+            : std::max(1u, std::min<unsigned>(
+                               cfg.numSockets,
+                               std::thread::hardware_concurrency()));
+    }
+
+    CellExecutor exec(*m, threads);
+    exec.run([&](Tick q) -> bool {
+        if (warm_pending.exchange(false)) {
+            m->stats().resetAll();
+            measure_start = q;
+        }
+        if (use_barrier) {
+            barrier.quantRelease(q, [this](CoreId c) -> EventQueue & {
+                return m->queueAt(
+                    c / m->config().coresPerSocket);
+            });
+        }
+        return done_remaining.load(std::memory_order_acquire) == 0;
+    });
+
+    // The executor already quiesced the machine (it stops only once
+    // every queue and outbox drained). The window closes when the
+    // last active core finished issuing and draining, which each
+    // core records itself.
+    Tick end = 0;
+    for (CoreId c = 0; c < active; ++c)
+        end = std::max(end, cpus[c]->finishAt());
+
+    // The window opens at a cell boundary; a tiny measure quota can
+    // finish inside the warm cell, before the boundary. Clamp rather
+    // than wrap.
+    return collectResult(end > measure_start ? end - measure_start
+                                             : 0);
+}
+
+RunResult
+Runner::collectResult(Tick measured_ticks)
+{
     RunResult r;
-    r.measuredTicks = end - measure_start;
+    r.measuredTicks = measured_ticks;
     std::uint64_t insts = 0;
     for (const auto &cpu : cpus)
         insts += cpu->instructions();
@@ -152,7 +255,8 @@ Runner::run(std::uint64_t warmup_ops, std::uint64_t measure_ops)
 RunResult
 runWorkload(const SystemConfig &cfg,
             const WorkloadProfile &scaled_profile,
-            std::uint64_t warmup_ops, std::uint64_t measure_ops)
+            std::uint64_t warmup_ops, std::uint64_t measure_ops,
+            KernelOptions kernel)
 {
     // Trace profiles replay their file (streaming, per-core lanes).
     // Passing the profile's content hash enables the reader's scan
@@ -180,7 +284,7 @@ runWorkload(const SystemConfig &cfg,
         }
         ComposedWorkload wl(spec, scaled_profile.seed,
                             cfg.totalCores());
-        Runner runner(cfg, wl);
+        Runner runner(cfg, wl, kernel);
         runner.enableTenantTracking(wl.coreTenants(),
                                     wl.tenantNames());
         return runner.run(warmup_ops, measure_ops);
@@ -188,12 +292,12 @@ runWorkload(const SystemConfig &cfg,
     if (scaled_profile.isTrace()) {
         TraceFileWorkload wl(scaled_profile.tracePath,
                              scaled_profile.traceHash);
-        Runner runner(cfg, wl);
+        Runner runner(cfg, wl, kernel);
         return runner.run(warmup_ops, measure_ops);
     }
     SyntheticWorkload wl(scaled_profile, cfg.totalCores(),
                          cfg.coresPerSocket);
-    Runner runner(cfg, wl);
+    Runner runner(cfg, wl, kernel);
     return runner.run(warmup_ops, measure_ops);
 }
 

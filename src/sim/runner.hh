@@ -84,6 +84,23 @@ struct RunResult
     }
 };
 
+/**
+ * Kernel selection for a run.
+ *
+ * Eligible configurations (Machine::parallelKernelEligible) always
+ * run on the multi-queue kernel; `parallel` only chooses how many
+ * worker threads drive it. The default (1 thread) executes the exact
+ * event sequence the parallel run must reproduce — it is the
+ * sequential differential oracle. Ineligible configurations fall back
+ * to the classic single-queue kernel regardless of these options.
+ */
+struct KernelOptions
+{
+    bool parallel = false; //!< drive eligible configs with a pool
+    /** Worker threads; 0 = min(numSockets, hardware threads). */
+    unsigned threads = 0;
+};
+
 /** Drives a full simulation. */
 class Runner
 {
@@ -91,8 +108,11 @@ class Runner
     /**
      * @param cfg machine configuration
      * @param workload reference-stream source (not owned)
+     * @param kernel kernel selection (defaults to the sequential
+     *        oracle; see KernelOptions)
      */
-    Runner(const SystemConfig &cfg, Workload &workload);
+    Runner(const SystemConfig &cfg, Workload &workload,
+           KernelOptions kernel = {});
     ~Runner();
 
     /**
@@ -119,8 +139,13 @@ class Runner
     }
 
   private:
+    RunResult runMultiQueue(std::uint64_t warmup_ops,
+                            std::uint64_t measure_ops);
+    RunResult collectResult(Tick measured_ticks);
+
     std::unique_ptr<Machine> m;
     Workload &workload;
+    KernelOptions kernel;
     std::vector<std::unique_ptr<TraceCpu>> cpus;
     Barrier barrier;
 
@@ -136,7 +161,8 @@ class Runner
 RunResult runWorkload(const SystemConfig &cfg,
                       const WorkloadProfile &scaled_profile,
                       std::uint64_t warmup_ops,
-                      std::uint64_t measure_ops);
+                      std::uint64_t measure_ops,
+                      KernelOptions kernel = {});
 
 } // namespace c3d
 

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Thread-cached slab recycler for event-path allocations.
+ *
+ * The simulator's remaining hot-path heap traffic is small,
+ * fixed-size nodes: InlineFunction's heap-fallback wrappers and the
+ * per-hop continuation nodes inside Interconnect::forwardHop (the
+ * 48-byte wrapper flagged by bench-report). Both are allocated and
+ * freed at event rates, so going through malloc on every miss costs
+ * real throughput and — under the parallel kernel — contends on the
+ * global allocator.
+ *
+ * slab::alloc/free keep per-thread free lists for two small size
+ * classes (128 and 256 bytes; larger requests pass through to
+ * operator new). Frees always push onto the *freeing* thread's local
+ * list — a node allocated by socket 0's worker may be freed by
+ * socket 2's worker after a cross-queue hop, and that must not
+ * require synchronization on the fast path. When a local list grows
+ * past a high-water mark it donates a batch to a mutex-protected
+ * global pool, which refills other threads' lists; this bounds
+ * per-thread hoarding when producers and consumers are different
+ * threads. All memory is released at thread exit (local caches) and
+ * process exit (global pool), keeping LeakSanitizer clean.
+ */
+
+#ifndef C3DSIM_SIM_SLAB_HH
+#define C3DSIM_SIM_SLAB_HH
+
+#include <cstddef>
+
+namespace c3d
+{
+namespace slab
+{
+
+/**
+ * Allocate @p size bytes (alignment suitable for any object of
+ * fundamental alignment). Small sizes are served from the calling
+ * thread's cache; sizes above the largest class fall through to
+ * ::operator new.
+ */
+void *alloc(std::size_t size);
+
+/** Return memory obtained from alloc(); @p size must match. */
+void free(void *ptr, std::size_t size);
+
+/** Nodes currently cached (local + global), for tests. */
+std::size_t cachedNodes();
+
+} // namespace slab
+} // namespace c3d
+
+#endif // C3DSIM_SIM_SLAB_HH

@@ -496,6 +496,7 @@ TraceFileReader::open(const std::string &path, std::string &error,
 void
 TraceFileReader::refill(std::uint32_t core)
 {
+    std::lock_guard<std::mutex> lock(refillMu);
     Lane &lane = lanes[core];
     lane.buf.clear();
     lane.pos = 0;

@@ -25,6 +25,8 @@
 #define C3DSIM_TRACE_TRACE_FILE_HH
 
 #include <cstdint>
+#include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -199,6 +201,14 @@ class TraceFileReader
     TraceFileInfo meta;
     std::vector<Lane> lanes;
     std::vector<unsigned char> chunk; //!< shared read buffer
+    /**
+     * Lanes are single-reader (one core, one kernel thread), but the
+     * FILE cursor and chunk buffer are shared across lanes; refills
+     * from different kernel threads serialize here. Lane contents
+     * are untouched by other threads, so replayed op sequences stay
+     * deterministic.
+     */
+    std::mutex refillMu;
 };
 
 /** Workload adapter replaying one trace file (streaming). */

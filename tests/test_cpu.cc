@@ -144,10 +144,10 @@ TEST(Barrier, ReleasesWhenAllArrive)
     Barrier b;
     b.init(3, &g, "b");
     int released = 0;
-    b.arrive([&] { ++released; });
-    b.arrive([&] { ++released; });
+    b.arrive(0, [&] { ++released; });
+    b.arrive(0, [&] { ++released; });
     EXPECT_EQ(released, 0);
-    b.arrive([&] { ++released; });
+    b.arrive(0, [&] { ++released; });
     EXPECT_EQ(released, 3);
 }
 
@@ -157,10 +157,10 @@ TEST(Barrier, Reusable)
     Barrier b;
     b.init(2, &g, "b");
     int released = 0;
-    b.arrive([&] { ++released; });
-    b.arrive([&] { ++released; });
-    b.arrive([&] { ++released; });
-    b.arrive([&] { ++released; });
+    b.arrive(0, [&] { ++released; });
+    b.arrive(0, [&] { ++released; });
+    b.arrive(0, [&] { ++released; });
+    b.arrive(0, [&] { ++released; });
     EXPECT_EQ(released, 4);
 }
 
@@ -170,8 +170,8 @@ TEST(Barrier, RetireUnblocksWaiters)
     Barrier b;
     b.init(3, &g, "b");
     int released = 0;
-    b.arrive([&] { ++released; });
-    b.arrive([&] { ++released; });
+    b.arrive(0, [&] { ++released; });
+    b.arrive(0, [&] { ++released; });
     // Third party finishes its quota instead of arriving.
     b.retire();
     EXPECT_EQ(released, 2);

@@ -9,6 +9,7 @@
 #include "interconnect/channel.hh"
 #include "interconnect/interconnect.hh"
 #include "sim/event_queue.hh"
+#include "sim/queue_router.hh"
 
 namespace c3d
 {
@@ -64,7 +65,9 @@ TEST_F(InterconnectTest, RingHopCounts)
 {
     EventQueue eq;
     StatGroup g("t");
-    Interconnect noc(eq, config(4), &g);
+    QueueRouter rt;
+    rt.initSingle(eq, 4);
+    Interconnect noc(rt, config(4), &g);
     EXPECT_EQ(noc.hopCount(0, 0), 0u);
     EXPECT_EQ(noc.hopCount(0, 1), 1u);
     EXPECT_EQ(noc.hopCount(0, 2), 2u); // opposite corner
@@ -77,7 +80,9 @@ TEST_F(InterconnectTest, P2PSingleHop)
 {
     EventQueue eq;
     StatGroup g("t");
-    Interconnect noc(eq, config(2), &g);
+    QueueRouter rt;
+    rt.initSingle(eq, 2);
+    Interconnect noc(rt, config(2), &g);
     EXPECT_EQ(noc.hopCount(0, 1), 1u);
     EXPECT_EQ(noc.hopCount(1, 0), 1u);
 }
@@ -87,7 +92,9 @@ TEST_F(InterconnectTest, BaseLatencyIsHopTimesDelay)
     EventQueue eq;
     StatGroup g("t");
     SystemConfig cfg = config(4);
-    Interconnect noc(eq, cfg, &g);
+    QueueRouter rt;
+    rt.initSingle(eq, cfg.numSockets);
+    Interconnect noc(rt, cfg, &g);
     EXPECT_EQ(noc.baseLatency(0, 1), cfg.hopLatency);
     EXPECT_EQ(noc.baseLatency(0, 2), 2 * cfg.hopLatency);
 }
@@ -97,7 +104,9 @@ TEST_F(InterconnectTest, DeliveryTimeIncludesHopLatency)
     EventQueue eq;
     StatGroup g("t");
     SystemConfig cfg = config(4);
-    Interconnect noc(eq, cfg, &g);
+    QueueRouter rt;
+    rt.initSingle(eq, cfg.numSockets);
+    Interconnect noc(rt, cfg, &g);
     Tick arrival = 0;
     noc.send(0, 2, PacketKind::Control,
              [&] { arrival = eq.now(); });
@@ -111,7 +120,9 @@ TEST_F(InterconnectTest, LocalDeliveryIsFreeAndUncounted)
 {
     EventQueue eq;
     StatGroup g("t");
-    Interconnect noc(eq, config(4), &g);
+    QueueRouter rt;
+    rt.initSingle(eq, 4);
+    Interconnect noc(rt, config(4), &g);
     bool delivered = false;
     noc.send(2, 2, PacketKind::Data, [&] { delivered = true; });
     eq.run();
@@ -125,7 +136,9 @@ TEST_F(InterconnectTest, PacketSizesCounted)
     EventQueue eq;
     StatGroup g("t");
     SystemConfig cfg = config(2);
-    Interconnect noc(eq, cfg, &g);
+    QueueRouter rt;
+    rt.initSingle(eq, cfg.numSockets);
+    Interconnect noc(rt, cfg, &g);
     noc.send(0, 1, PacketKind::Control, [] {});
     noc.send(0, 1, PacketKind::Data, [] {});
     eq.run();
@@ -140,7 +153,9 @@ TEST_F(InterconnectTest, MultiHopChargesEveryLink)
     EventQueue eq;
     StatGroup g("t");
     SystemConfig cfg = config(4);
-    Interconnect noc(eq, cfg, &g);
+    QueueRouter rt;
+    rt.initSingle(eq, cfg.numSockets);
+    Interconnect noc(rt, cfg, &g);
     noc.send(0, 2, PacketKind::Data, [] {});
     eq.run();
     // Hop-weighted bytes: 2 links x 80 B.
@@ -155,7 +170,9 @@ TEST_F(InterconnectTest, ZeroHopLatencyIdealization)
     SystemConfig cfg = config(2);
     cfg.zeroHopLatency = true;
     cfg.infiniteLinkBandwidth = true;
-    Interconnect noc(eq, cfg, &g);
+    QueueRouter rt;
+    rt.initSingle(eq, cfg.numSockets);
+    Interconnect noc(rt, cfg, &g);
     Tick arrival = MaxTick;
     noc.send(0, 1, PacketKind::Data, [&] { arrival = eq.now(); });
     eq.run();
@@ -167,7 +184,9 @@ TEST_F(InterconnectTest, LinkCongestionDelaysPackets)
     EventQueue eq;
     StatGroup g("t");
     SystemConfig cfg = config(2);
-    Interconnect noc(eq, cfg, &g);
+    QueueRouter rt;
+    rt.initSingle(eq, cfg.numSockets);
+    Interconnect noc(rt, cfg, &g);
     std::vector<Tick> arrivals;
     for (int i = 0; i < 200; ++i) {
         noc.send(0, 1, PacketKind::Data,
@@ -183,7 +202,9 @@ TEST_F(InterconnectTest, FifoPerLink)
 {
     EventQueue eq;
     StatGroup g("t");
-    Interconnect noc(eq, config(2), &g);
+    QueueRouter rt;
+    rt.initSingle(eq, 2);
+    Interconnect noc(rt, config(2), &g);
     std::vector<int> order;
     for (int i = 0; i < 10; ++i) {
         noc.send(0, 1, PacketKind::Control,
@@ -212,7 +233,9 @@ TEST(InterconnectRegression, NoPhantomFutureReservations)
     StatGroup g("t");
     SystemConfig cfg;
     cfg.numSockets = 4;
-    Interconnect noc(eq, cfg, &g);
+    QueueRouter rt;
+    rt.initSingle(eq, cfg.numSockets);
+    Interconnect noc(rt, cfg, &g);
 
     // Packet A: 0 -> 2 (two hops through socket 1).
     Tick a_arrival = 0;
@@ -237,7 +260,9 @@ TEST(InterconnectRegression, BackToBackHopsAccumulate)
     StatGroup g("t");
     SystemConfig cfg;
     cfg.numSockets = 4;
-    Interconnect noc(eq, cfg, &g);
+    QueueRouter rt;
+    rt.initSingle(eq, cfg.numSockets);
+    Interconnect noc(rt, cfg, &g);
     Tick two_hop = 0, one_hop = 0;
     noc.send(0, 2, PacketKind::Control, [&] { two_hop = eq.now(); });
     eq.run();
@@ -246,6 +271,33 @@ TEST(InterconnectRegression, BackToBackHopsAccumulate)
     eq.run();
     EXPECT_GT(two_hop, one_hop);
     EXPECT_GE(two_hop, 2 * cfg.hopLatency);
+}
+
+TEST(InterconnectRegression, SameSocketDeliveryIsNeverInline)
+{
+    // Pin the same-socket delivery contract: send(s, s) must go
+    // through a zero-delay event on s's queue, never an inline call.
+    // An inline delivery would let a protocol handler that "responds
+    // to itself" reenter its own block state mid-update, and under
+    // the parallel kernel it is the only delivery shape that keeps
+    // every callback on the owning socket's queue.
+    EventQueue eq;
+    QueueRouter rt;
+    rt.initSingle(eq, 2);
+    StatGroup g("t");
+    SystemConfig cfg;
+    cfg.numSockets = 2;
+    Interconnect noc(rt, cfg, &g);
+
+    bool delivered = false;
+    noc.send(1, 1, PacketKind::Control, [&] { delivered = true; });
+    // Not delivered inline at send time...
+    EXPECT_FALSE(delivered);
+    eq.run();
+    // ...but at tick 0 (free and uncounted), via the event queue.
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(noc.packetsSent(), 0u);
 }
 
 } // namespace

@@ -49,8 +49,8 @@ TEST_P(DesignSocketSweep, RunCompletesAndConserves)
     EXPECT_LE(res.remoteMemWrites, res.memWrites);
     EXPECT_GT(res.memReads, 0u);
 
-    // The event queue fully drained (no lost transactions).
-    EXPECT_EQ(r.machine().eventQueue().pending(), 0u);
+    // The kernel queues fully drained (no lost transactions).
+    EXPECT_EQ(r.machine().totalPendingEvents(), 0u);
 }
 
 TEST_P(DesignSocketSweep, SwmrHoldsOnSampledBlocks)

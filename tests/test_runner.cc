@@ -49,7 +49,7 @@ TEST(Runner, NoCallbackHeapFallbacksInAnyDesign)
                              cfg.coresPerSocket);
         Runner r(cfg, wl);
         r.run(300, 1200);
-        EXPECT_EQ(r.machine().eventQueue().heapCallbackEvents(), 0u)
+        EXPECT_EQ(r.machine().totalHeapCallbackEvents(), 0u)
             << "design " << designName(d);
     }
 }

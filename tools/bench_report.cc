@@ -18,6 +18,14 @@
  *    allocate.
  *  - end_to_end: one fixed sweep row (facesim / C3D / 4 sockets),
  *    reporting wall time, simulated events, and host events/second.
+ *  - parallel_kernel: the same row run on the multi-queue kernel
+ *    with 1 worker thread (the sequential differential oracle) and
+ *    with one thread per socket (--parallel-kernel), reporting both
+ *    throughputs, the speedup, and the host's hardware concurrency.
+ *    The tool exits non-zero if the two runs' metrics diverge (the
+ *    byte-identity contract, checked live). The speedup is only
+ *    meaningful when the host has >= numSockets hardware threads --
+ *    host_hw_threads records the truth next to the number.
  *
  * The tool exits non-zero if any scheduled callback fell back to a
  * heap allocation during the end-to-end row: the simulator's capture
@@ -26,6 +34,7 @@
  * Usage: bench-report [--quick] [--out=PATH|-]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -33,6 +42,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/tag_array.hh"
@@ -150,6 +160,14 @@ struct Report
     double rowEventsPerSec = 0;
     double rowIpc = 0;
     std::uint64_t rowHeapCallbackEvents = 0;
+
+    unsigned parKernelThreads = 0;
+    unsigned hostHwThreads = 0;
+    double seqKernelWallSeconds = 0;
+    double seqKernelEventsPerSec = 0;
+    double parKernelWallSeconds = 0;
+    double parKernelEventsPerSec = 0;
+    bool parKernelMetricsMatch = true;
 };
 
 void
@@ -276,11 +294,67 @@ benchEndToEnd(Report &rep)
     const c3d::RunResult res =
         runner.run(spec.warmupOps, spec.measureOps);
     rep.rowWallSeconds = secondsSince(start);
-    rep.rowEvents = runner.machine().eventQueue().eventsExecuted();
+    rep.rowEvents = runner.machine().totalEventsExecuted();
     rep.rowEventsPerSec = rep.rowEvents / rep.rowWallSeconds;
     rep.rowIpc = res.ipc();
     rep.rowHeapCallbackEvents =
-        runner.machine().eventQueue().heapCallbackEvents();
+        runner.machine().totalHeapCallbackEvents();
+}
+
+void
+benchParallelKernel(Report &rep)
+{
+    // Same fixed row as end_to_end, once per kernel. 1 worker thread
+    // is the sequential differential oracle; N = numSockets is what
+    // --parallel-kernel runs on a big-enough host.
+    c3d::exp::SweepGrid grid;
+    grid.workloads = {c3d::facesimProfile()};
+    grid.designs = {c3d::Design::C3D};
+    grid.sockets = {4};
+    if (rep.quick)
+        grid = c3d::exp::quickPreset(grid);
+    const std::vector<c3d::exp::RunSpec> specs = grid.expand();
+    const c3d::exp::RunSpec &spec = specs.front();
+
+    rep.hostHwThreads = std::thread::hardware_concurrency();
+    rep.parKernelThreads = std::min<unsigned>(
+        spec.cfg.numSockets,
+        rep.hostHwThreads ? rep.hostHwThreads : 1);
+
+    auto runOnce = [&](c3d::KernelOptions kernel, double &wall,
+                       double &eps) {
+        c3d::SyntheticWorkload wl(spec.profile.scaled(spec.scale),
+                                  spec.cfg.totalCores(),
+                                  spec.cfg.coresPerSocket);
+        c3d::Runner runner(spec.cfg, wl, kernel);
+        const auto start = Clock::now();
+        const c3d::RunResult res =
+            runner.run(spec.warmupOps, spec.measureOps);
+        wall = secondsSince(start);
+        eps = static_cast<double>(
+                  runner.machine().totalEventsExecuted()) /
+            wall;
+        return res;
+    };
+
+    const c3d::RunResult seq = runOnce(
+        c3d::KernelOptions{}, rep.seqKernelWallSeconds,
+        rep.seqKernelEventsPerSec);
+    c3d::KernelOptions par;
+    par.parallel = true;
+    par.threads = rep.parKernelThreads;
+    const c3d::RunResult parallel = runOnce(
+        par, rep.parKernelWallSeconds, rep.parKernelEventsPerSec);
+
+    rep.parKernelMetricsMatch =
+        seq.measuredTicks == parallel.measuredTicks &&
+        seq.instructions == parallel.instructions &&
+        seq.memReads == parallel.memReads &&
+        seq.memWrites == parallel.memWrites &&
+        seq.dramCacheHits == parallel.dramCacheHits &&
+        seq.dramCacheMisses == parallel.dramCacheMisses &&
+        seq.llcMisses == parallel.llcMisses &&
+        seq.interSocketBytes == parallel.interSocketBytes;
 }
 
 void
@@ -335,6 +409,28 @@ writeJson(std::FILE *f, const Report &rep)
     std::fprintf(f, "    \"heap_callback_events\": %llu\n",
                  static_cast<unsigned long long>(
                      rep.rowHeapCallbackEvents));
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"parallel_kernel\": {\n");
+    std::fprintf(f, "    \"row\": \"%s\",\n", rep.rowName.c_str());
+    std::fprintf(f, "    \"host_hw_threads\": %u,\n",
+                 rep.hostHwThreads);
+    std::fprintf(f, "    \"worker_threads\": %u,\n",
+                 rep.parKernelThreads);
+    std::fprintf(f, "    \"sequential_wall_seconds\": %.3f,\n",
+                 rep.seqKernelWallSeconds);
+    std::fprintf(f, "    \"sequential_events_per_sec\": %.0f,\n",
+                 rep.seqKernelEventsPerSec);
+    std::fprintf(f, "    \"parallel_wall_seconds\": %.3f,\n",
+                 rep.parKernelWallSeconds);
+    std::fprintf(f, "    \"parallel_events_per_sec\": %.0f,\n",
+                 rep.parKernelEventsPerSec);
+    std::fprintf(f, "    \"speedup\": %.2f,\n",
+                 rep.parKernelWallSeconds > 0
+                     ? rep.seqKernelWallSeconds /
+                         rep.parKernelWallSeconds
+                     : 0.0);
+    std::fprintf(f, "    \"metrics_match\": %s\n",
+                 rep.parKernelMetricsMatch ? "true" : "false");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
 }
@@ -363,6 +459,7 @@ main(int argc, char **argv)
     benchEventQueues(rep);
     benchTagArray(rep);
     benchEndToEnd(rep);
+    benchParallelKernel(rep);
 
     if (out == "-") {
         writeJson(stdout, rep);
@@ -387,6 +484,22 @@ main(int argc, char **argv)
                  rep.nsPerLookup, rep.rowName.c_str(),
                  rep.rowWallSeconds, rep.rowEventsPerSec / 1e6);
 
+    std::fprintf(stderr,
+                 "parallel kernel: %.2fx on %u threads "
+                 "(host has %u hw threads; metrics %s)\n",
+                 rep.parKernelWallSeconds > 0
+                     ? rep.seqKernelWallSeconds /
+                         rep.parKernelWallSeconds
+                     : 0.0,
+                 rep.parKernelThreads, rep.hostHwThreads,
+                 rep.parKernelMetricsMatch ? "match" : "DIVERGE");
+
+    if (!rep.parKernelMetricsMatch) {
+        std::fprintf(stderr,
+                     "bench-report: FAIL: parallel kernel metrics "
+                     "diverge from the sequential oracle\n");
+        return 1;
+    }
     if (rep.rowHeapCallbackEvents != 0) {
         std::fprintf(stderr,
                      "bench-report: FAIL: %llu scheduled callbacks "

@@ -77,6 +77,14 @@ const char *const Usage =
     "\n"
     "execution and output:\n"
     "  --jobs=N               worker threads (default 1; 0 = all cores)\n"
+    "  --parallel-kernel[=T]  drive each eligible run's sockets on T\n"
+    "                         kernel threads (default min(sockets,\n"
+    "                         cores)); results are byte-identical to\n"
+    "                         the default sequential kernel. Best\n"
+    "                         combined with --jobs=1; ineligible\n"
+    "                         configs (1 socket, zero hop latency,\n"
+    "                         TLB classification) fall back to the\n"
+    "                         sequential kernel\n"
     "  --format=json|csv|table   (default json)\n"
     "  --out=FILE             write to FILE instead of stdout\n"
     "  --progress             report per-run progress on stderr\n"
@@ -104,6 +112,7 @@ struct SweepCli
 {
     exp::SweepGrid grid;
     unsigned jobs = 1;
+    KernelOptions kernel; //!< --parallel-kernel
     std::string format = "json";
     std::string outFile;
     bool progress = false;
@@ -346,6 +355,15 @@ parseSweepCli(int argc, char **argv)
                 return cli;
             }
             cli.jobs = static_cast<unsigned>(n);
+        } else if (key == "parallel-kernel") {
+            cli.kernel.parallel = true;
+            if (!value.empty()) {
+                if (!parseU64(value, n) || n < 1 || n > 256) {
+                    cli.error = "bad parallel-kernel thread count";
+                    return cli;
+                }
+                cli.kernel.threads = static_cast<unsigned>(n);
+            }
         } else if (key == "format") {
             if (value != "json" && value != "csv" &&
                 value != "table") {
@@ -579,6 +597,7 @@ main(int argc, char **argv)
 
     setQuiet(true);
     exp::SweepEngine engine(cli.jobs);
+    engine.setKernelOptions(cli.kernel);
     engine.setShard(cli.shardIdx, cli.shardCnt);
     if (cli.progress) {
         engine.setProgress([](const exp::RunSpec &spec,
