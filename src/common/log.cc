@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <exception>
 
+#include "common/sim_error.hh"
+
 namespace c3d
 {
 
@@ -64,13 +66,26 @@ namespace detail
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    char msg[1024];
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
-    std::abort();
+
+    // Raise-time context from the thread-local scopes (see
+    // common/sim_error.hh): the executing queue's simulated clock
+    // and the sweep row this thread is running.
+    const std::uint64_t *tick = detail::tickSource();
+    const char *identity = detail::errorIdentity();
+
+    // Inside a containment scope the catcher owns reporting; outside
+    // one, print before throwing so the resulting std::terminate is
+    // never silent.
+    if (!identity)
+        std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+
+    throw SimError(file, line, msg, tick ? *tick : 0,
+                   tick != nullptr, identity ? identity : "");
 }
 
 void

@@ -3,7 +3,9 @@
  * Error and status reporting, after gem5's logging conventions.
  *
  * panic()  - internal simulator invariant violated (a c3dsim bug);
- *            aborts.
+ *            throws a catchable SimError (common/sim_error.hh) so a
+ *            sweep can contain the failure to its row; uncaught it
+ *            still terminates the process.
  * fatal()  - the user asked for something impossible (bad config);
  *            exits with status 1.
  * warn()   - something is suspicious but simulation can continue.

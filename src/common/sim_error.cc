@@ -1,0 +1,65 @@
+#include "common/sim_error.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace c3d
+{
+
+namespace
+{
+
+thread_local const std::uint64_t *tlsTickSource = nullptr;
+thread_local const char *tlsErrorIdentity = nullptr;
+
+} // namespace
+
+namespace detail
+{
+
+const std::uint64_t *
+tickSource()
+{
+    return tlsTickSource;
+}
+
+void
+setTickSource(const std::uint64_t *now)
+{
+    tlsTickSource = now;
+}
+
+const char *
+errorIdentity()
+{
+    return tlsErrorIdentity;
+}
+
+void
+setErrorIdentity(const char *identity)
+{
+    tlsErrorIdentity = identity;
+}
+
+} // namespace detail
+
+SimError::SimError(std::string file, int line, std::string message,
+                   std::uint64_t tick, bool tick_known,
+                   std::string identity)
+    : srcFile(std::move(file)), srcLine(line), msg(std::move(message)),
+      simTick(tick), hasTick(tick_known),
+      rowIdentity(std::move(identity))
+{
+    srcLocation = srcFile + ":" + std::to_string(srcLine);
+    formatted = srcLocation + ": " + msg;
+    if (hasTick) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), " [tick %" PRIu64 "]",
+                      simTick);
+        formatted += buf;
+    }
+    if (!rowIdentity.empty())
+        formatted += " [row " + rowIdentity + "]";
+}
+
+} // namespace c3d

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Structured, catchable simulator errors.
+ *
+ * c3d_panic / c3d_assert used to abort() the whole process, which
+ * turns one bad grid point into the loss of an entire sharded sweep.
+ * They now throw SimError: an exception carrying the panic site
+ * (file:line), the simulated tick at which it was raised, and the
+ * identity key of the sweep row being executed -- everything a
+ * failure record needs to be diagnosable and deterministic.
+ *
+ * The tick and identity are not passed by the panic sites (most of
+ * which predate this layer and know nothing about rows); they are
+ * picked up from thread-local context published by the layers that
+ * do know:
+ *
+ *  - EventQueue::run()/step() publish the executing queue's clock
+ *    via TickSourceScope, so any panic raised from inside an event
+ *    callback is stamped with the simulated time of that event.
+ *  - SweepEngine's workers publish the row identity key via
+ *    ErrorIdentityScope around each run.
+ *
+ * Uncaught, a SimError still terminates the process (std::terminate
+ * -> abort), preserving the old visible behavior for tools and tests
+ * that do not opt into containment. When no identity context is
+ * active, the panic site also prints its message to stderr before
+ * throwing, so a crash-to-terminate is never silent.
+ */
+
+#ifndef C3DSIM_COMMON_SIM_ERROR_HH
+#define C3DSIM_COMMON_SIM_ERROR_HH
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace c3d
+{
+
+/** A contained simulator invariant violation (see file comment). */
+class SimError : public std::exception
+{
+  public:
+    SimError(std::string file, int line, std::string message,
+             std::uint64_t tick, bool tick_known,
+             std::string identity);
+
+    /** Full formatted diagnostic (location, message, tick, row). */
+    const char *what() const noexcept override
+    {
+        return formatted.c_str();
+    }
+
+    const std::string &file() const { return srcFile; }
+    int line() const { return srcLine; }
+    /** "file:line" of the panic site. */
+    const std::string &location() const { return srcLocation; }
+    /** The panic message alone (no location/tick/row decoration). */
+    const std::string &message() const { return msg; }
+
+    /** Simulated tick at raise time; valid when tickKnown(). */
+    std::uint64_t tick() const { return simTick; }
+    bool tickKnown() const { return hasTick; }
+
+    /** Sweep-row identity key; empty outside a sweep worker. */
+    const std::string &identity() const { return rowIdentity; }
+
+  private:
+    std::string srcFile;
+    int srcLine;
+    std::string srcLocation;
+    std::string msg;
+    std::uint64_t simTick;
+    bool hasTick;
+    std::string rowIdentity;
+    std::string formatted;
+};
+
+namespace detail
+{
+
+/** Thread-local simulated-clock source consulted at raise time. */
+const std::uint64_t *tickSource();
+void setTickSource(const std::uint64_t *now);
+
+/** Thread-local row-identity string consulted at raise time. */
+const char *errorIdentity();
+void setErrorIdentity(const char *identity);
+
+} // namespace detail
+
+/**
+ * RAII: publish @p now as this thread's simulated-clock source for
+ * the scope's lifetime (nesting restores the previous source).
+ */
+class TickSourceScope
+{
+  public:
+    explicit TickSourceScope(const std::uint64_t *now)
+        : prev(detail::tickSource())
+    {
+        detail::setTickSource(now);
+    }
+    ~TickSourceScope() { detail::setTickSource(prev); }
+
+    TickSourceScope(const TickSourceScope &) = delete;
+    TickSourceScope &operator=(const TickSourceScope &) = delete;
+
+  private:
+    const std::uint64_t *prev;
+};
+
+/**
+ * RAII: declare the sweep-row identity this thread's errors belong
+ * to. @p identity is borrowed, not copied -- it must outlive the
+ * scope.
+ */
+class ErrorIdentityScope
+{
+  public:
+    explicit ErrorIdentityScope(const char *identity)
+        : prev(detail::errorIdentity())
+    {
+        detail::setErrorIdentity(identity);
+    }
+    ~ErrorIdentityScope() { detail::setErrorIdentity(prev); }
+
+    ErrorIdentityScope(const ErrorIdentityScope &) = delete;
+    ErrorIdentityScope &operator=(const ErrorIdentityScope &) = delete;
+
+  private:
+    const char *prev;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_COMMON_SIM_ERROR_HH

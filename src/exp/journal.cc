@@ -64,14 +64,45 @@ parseEntryLine(const std::string &line, JournalEntry &out,
         return false;
     }
     const JsonValue *row = v.member("row");
-    if (!row) {
-        error = "entry missing 'row'";
+    const JsonValue *failure = v.member("failure");
+    if ((row == nullptr) == (failure == nullptr)) {
+        error = "entry must carry exactly one of 'row'/'failure'";
         return false;
     }
     JournalEntry entry;
     entry.index = index->u64();
-    if (!ResultTable::rowFromJson(*row, entry.row, error))
-        return false;
+    if (row) {
+        if (!ResultTable::rowFromJson(*row, entry.row, error))
+            return false;
+    } else {
+        if (!failure->isObject()) {
+            error = "'failure' is not an object";
+            return false;
+        }
+        const JsonValue *identity = failure->member("identity");
+        const JsonValue *msg = failure->member("error");
+        const JsonValue *attempts = failure->member("attempts");
+        if (!identity || !identity->isString() || !msg ||
+            !msg->isString() || !attempts || !attempts->isNumber()) {
+            error = "failure record missing 'identity', 'error', "
+                    "or 'attempts'";
+            return false;
+        }
+        entry.failed = true;
+        entry.failure.identity = identity->string();
+        entry.failure.error = msg->string();
+        entry.failure.attempts =
+            static_cast<std::uint32_t>(attempts->u64());
+        const JsonValue *tick = failure->member("tick");
+        if (tick) {
+            if (!tick->isNumber()) {
+                error = "failure 'tick' is not a number";
+                return false;
+            }
+            entry.failure.tick = tick->u64();
+            entry.failure.tickKnown = true;
+        }
+    }
     out = std::move(entry);
     return true;
 }
@@ -103,6 +134,29 @@ journalEntryLine(std::uint64_t index, const ResultRow &row)
     std::snprintf(buf, sizeof(buf), "{\"index\": %" PRIu64
                   ", \"row\": ", index);
     return buf + ResultTable::rowToJson(row) + "}\n";
+}
+
+std::string
+journalFailureLine(std::uint64_t index, const JournalFailure &failure)
+{
+    char head[40];
+    std::snprintf(head, sizeof(head), "{\"index\": %" PRIu64
+                  ", \"failure\": {", index);
+    std::string line = head;
+    line += "\"identity\": \"" + jsonEscape(failure.identity) +
+        "\", \"error\": \"" + jsonEscape(failure.error) + "\"";
+    if (failure.tickKnown) {
+        char tick[48];
+        std::snprintf(tick, sizeof(tick), ", \"tick\": %" PRIu64,
+                      failure.tick);
+        line += tick;
+    }
+    char attempts[32];
+    std::snprintf(attempts, sizeof(attempts), ", \"attempts\": %u",
+                  static_cast<unsigned>(failure.attempts));
+    line += attempts;
+    line += "}}\n";
+    return line;
 }
 
 bool
@@ -185,7 +239,32 @@ parseJournal(const std::string &text, JournalData &out,
         }
         const auto it = seen.find(entry.index);
         if (it != seen.end()) {
-            if (!data.entries[it->second].row.sameAs(entry.row)) {
+            JournalEntry &prev = data.entries[it->second];
+            if (prev.failed) {
+                // A later line supersedes a failure: either a retry
+                // recovered the row (success) or another attempt
+                // failed again. The identity key must agree -- a
+                // mismatch means the journal mixes grids.
+                const std::string key = entry.failed
+                    ? entry.failure.identity
+                    : entry.row.identityKey();
+                if (key != prev.failure.identity) {
+                    error = "grid point " +
+                        std::to_string(entry.index) +
+                        " superseded with a different identity ('" +
+                        key + "' vs '" + prev.failure.identity +
+                        "')";
+                    return false;
+                }
+                prev = std::move(entry);
+                continue;
+            }
+            if (entry.failed) {
+                error = "failure record after a success for grid "
+                        "point " + std::to_string(entry.index);
+                return false;
+            }
+            if (!prev.row.sameAs(entry.row)) {
                 error = "conflicting metrics for grid point " +
                     std::to_string(entry.index);
                 return false;
@@ -262,7 +341,7 @@ mergeJournals(const std::vector<JournalData> &parts, ResultTable &out,
     }
 
     // Ordered by spec ordinal == grid expansion order.
-    std::map<std::uint64_t, const ResultRow *> by_index;
+    std::map<std::uint64_t, const JournalEntry *> by_index;
     std::unordered_map<std::string, std::uint64_t> by_identity;
     for (const JournalData &part : parts) {
         for (const JournalEntry &entry : part.entries) {
@@ -272,23 +351,50 @@ mergeJournals(const std::vector<JournalData> &parts, ResultTable &out,
                     std::to_string(total) + " points)";
                 return false;
             }
+            const std::string key = entry.failed
+                ? entry.failure.identity
+                : entry.row.identityKey();
             const auto it = by_index.find(entry.index);
             if (it != by_index.end()) {
-                if (!it->second->sameAs(entry.row)) {
+                const JournalEntry &prev = *it->second;
+                if (prev.failed != entry.failed) {
+                    // One journal completed a grid point another
+                    // failed: the sweeps diverged (different build,
+                    // injection, or environment) and no automatic
+                    // pick is defensible.
+                    error = "failure/success collision for grid "
+                            "point " + std::to_string(entry.index) +
+                        ": one journal completed it, another "
+                        "recorded '" +
+                        (prev.failed ? prev.failure.error
+                                     : entry.failure.error) + "'";
+                    return false;
+                }
+                if (prev.failed)
+                    continue; // both failed: keep the first record
+                if (!prev.row.sameAs(entry.row)) {
                     error = "conflicting metrics for grid point " +
                         std::to_string(entry.index);
                     return false;
                 }
                 continue;
             }
-            const std::string key = entry.row.identityKey();
             const auto id = by_identity.find(key);
             if (id != by_identity.end()) {
+                const JournalEntry &other = *by_index.at(id->second);
+                if (other.failed != entry.failed) {
+                    error = "failure/success collision: grid points "
+                        + std::to_string(id->second) + " and " +
+                        std::to_string(entry.index) +
+                        " share identity '" + key +
+                        "' but only one completed";
+                    return false;
+                }
                 // Grids may legitimately repeat an axis value, in
                 // which case the deterministic simulator produces
                 // identical rows at both ordinals; only mismatched
                 // metrics indicate cross-grid contamination.
-                if (!by_index.at(id->second)->sameAs(entry.row)) {
+                if (!other.failed && !other.row.sameAs(entry.row)) {
                     error = "identity collision: grid points " +
                         std::to_string(id->second) + " and " +
                         std::to_string(entry.index) +
@@ -299,7 +405,18 @@ mergeJournals(const std::vector<JournalData> &parts, ResultTable &out,
             } else {
                 by_identity.emplace(key, entry.index);
             }
-            by_index.emplace(entry.index, &entry.row);
+            by_index.emplace(entry.index, &entry);
+        }
+    }
+
+    // Unresolved failures: merging would silently bless a sweep
+    // that lost rows. The failed point must be re-run first.
+    for (const auto &kv : by_index) {
+        if (kv.second->failed) {
+            error = "grid point " + std::to_string(kv.first) +
+                " failed (" + kv.second->failure.error +
+                "); re-run it (e.g. --resume) before merging";
+            return false;
         }
     }
 
@@ -317,7 +434,7 @@ mergeJournals(const std::vector<JournalData> &parts, ResultTable &out,
 
     ResultTable table;
     for (const auto &kv : by_index)
-        table.appendRow(*kv.second);
+        table.appendRow(kv.second->row);
     out = std::move(table);
     return true;
 }
@@ -393,6 +510,27 @@ JournalWriter::append(std::uint64_t index, const ResultRow &row,
         return false;
     }
     return writeLine(journalEntryLine(index, row), error);
+}
+
+bool
+JournalWriter::appendFailure(std::uint64_t index,
+                             const JournalFailure &failure,
+                             std::string &error)
+{
+    if (!file) {
+        error = "journal is not open";
+        return false;
+    }
+    return writeLine(journalFailureLine(index, failure), error);
+}
+
+void
+JournalWriter::crashFlush()
+{
+    if (file) {
+        std::fflush(file);
+        c3d_fsync(c3d_fileno(file));
+    }
 }
 
 bool

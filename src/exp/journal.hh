@@ -7,10 +7,15 @@
  * header naming the schema, the grid's total spec count, and its
  * identity fingerprint; every subsequent line records one completed
  * grid point as `{"index": N, "row": {...}}` where the row object is
- * exactly the ResultTable::rowToJson() serialization. Lines are
- * appended (and fsync'd) as rows complete, in completion order --
- * the explicit spec ordinal is what restores grid order on read, so
- * any interleaving of workers or shards is equivalent.
+ * exactly the ResultTable::rowToJson() serialization, or one
+ * contained failure as `{"index": N, "failure": {...}}` (identity
+ * key, diagnostic, attempt count, and -- when known -- the simulated
+ * tick). Lines are appended (and fsync'd) as rows complete, in
+ * completion order -- the explicit spec ordinal is what restores
+ * grid order on read, so any interleaving of workers or shards is
+ * equivalent. A success line after a failure line for the same
+ * ordinal supersedes it (the audit trail of a retried-and-recovered
+ * row); a failure after a success is a loud error.
  *
  * Reader guarantees (docs/sweeps.md "Distributing and resuming
  * sweeps"): a final line without its terminating newline -- the
@@ -35,11 +40,30 @@
 namespace c3d::exp
 {
 
-/** One journal line: a completed grid point. */
+/** A contained row failure, as recorded in the journal. */
+struct JournalFailure
+{
+    std::string identity;    //!< specIdentityKey of the failed row
+    std::string error;       //!< diagnostic (location + message)
+    std::uint64_t tick = 0;  //!< simulated tick of the failure
+    bool tickKnown = false;  //!< tick field is meaningful
+    std::uint32_t attempts = 1; //!< attempts made when recorded
+
+    bool sameAs(const JournalFailure &o) const
+    {
+        return identity == o.identity && error == o.error &&
+               tick == o.tick && tickKnown == o.tickKnown &&
+               attempts == o.attempts;
+    }
+};
+
+/** One journal line: a completed or failed grid point. */
 struct JournalEntry
 {
     std::uint64_t index = 0; //!< spec ordinal in grid expansion order
-    ResultRow row;
+    ResultRow row;           //!< valid when !failed
+    bool failed = false;     //!< line is a failure record
+    JournalFailure failure;  //!< valid when failed
 };
 
 /** A parsed journal file. */
@@ -64,11 +88,19 @@ std::string journalHeaderLine(std::uint64_t total,
 std::string journalEntryLine(std::uint64_t index,
                              const ResultRow &row);
 
+/** Serialize one failure line (newline-terminated). */
+std::string journalFailureLine(std::uint64_t index,
+                               const JournalFailure &failure);
+
 /**
  * Parse journal @p text into @p out. Duplicate ordinals carrying
- * identical rows are collapsed; a final line without its trailing
- * newline is dropped with truncatedTail set (only fully fsync'd
- * lines count). Everything else malformed is an error.
+ * identical rows are collapsed; a success line supersedes an earlier
+ * failure line for the same ordinal (retry recovery) and a later
+ * failure line replaces an earlier one (another failed attempt); a
+ * failure after a success, or a supersession whose identity keys
+ * disagree, is an error. A final line without its trailing newline
+ * is dropped with truncatedTail set (only fully fsync'd lines
+ * count). Everything else malformed is an error.
  */
 bool parseJournal(const std::string &text, JournalData &out,
                   std::string &error);
@@ -99,8 +131,11 @@ bool readJournalFile(const std::string &path, JournalData &out,
  * Merge journals from the same grid (equal total + fingerprint;
  * e.g. one journal per shard) into a complete ResultTable in grid
  * order. Refuses ordinal or identity collisions with mismatched
- * rows, and refuses incomplete coverage: every ordinal in
- * [0, total) must be present exactly once after deduplication.
+ * rows, refuses a failure/success collision (one journal succeeded
+ * where another failed -- the sweeps diverged), refuses unresolved
+ * failures (a failed grid point must be re-run before merging), and
+ * refuses incomplete coverage: every ordinal in [0, total) must be
+ * present exactly once after deduplication.
  */
 bool mergeJournals(const std::vector<JournalData> &parts,
                    ResultTable &out, std::string &error);
@@ -139,6 +174,19 @@ class JournalWriter
     /** Append one completed grid point. */
     bool append(std::uint64_t index, const ResultRow &row,
                 std::string &error);
+
+    /** Append one contained row failure. */
+    bool appendFailure(std::uint64_t index,
+                       const JournalFailure &failure,
+                       std::string &error);
+
+    /**
+     * Push buffered bytes to the OS. Async-signal-tolerant best
+     * effort for terminate/abort handlers: every append already
+     * fsync'd, so this only matters if the process dies mid-append,
+     * and the reader recovers from the torn tail either way.
+     */
+    void crashFlush();
 
     bool isOpen() const { return file != nullptr; }
     void close();

@@ -1,10 +1,12 @@
 #include "exp/sweep_engine.hh"
 
 #include <atomic>
+#include <exception>
 #include <mutex>
 #include <thread>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace c3d::exp
 {
@@ -31,14 +33,14 @@ SweepEngine::setShard(unsigned index, unsigned count)
 RunResult
 SweepEngine::simulateSpec(const RunSpec &spec)
 {
-    return simulateSpec(spec, KernelOptions{});
+    return simulateSpec(spec, RunOptions{});
 }
 
 RunResult
-SweepEngine::simulateSpec(const RunSpec &spec, KernelOptions kernel)
+SweepEngine::simulateSpec(const RunSpec &spec, const RunOptions &opts)
 {
     return runWorkload(spec.cfg, spec.profile.scaled(spec.scale),
-                       spec.warmupOps, spec.measureOps, kernel);
+                       spec.warmupOps, spec.measureOps, opts);
 }
 
 ResultRow
@@ -69,9 +71,9 @@ SweepEngine::makeRow(const RunSpec &spec, const RunResult &metrics)
 ResultTable
 SweepEngine::run(const SweepGrid &grid) const
 {
-    const KernelOptions k = kernelOpts;
-    return run(grid, [k](const RunSpec &spec) {
-        return simulateSpec(spec, k);
+    const RunOptions o = runOpts;
+    return run(grid, [o](const RunSpec &spec) {
+        return simulateSpec(spec, o);
     });
 }
 
@@ -108,26 +110,88 @@ SweepEngine::run(const SweepGrid &grid, const RunFn &fn) const
     std::atomic<std::size_t> done{0};
     std::mutex progress_mutex;
 
+    // Abort-policy state: the first contained failure stops workers
+    // from claiming and is rethrown after the pool joins.
+    std::atomic<bool> abortRun{false};
+    std::mutex abort_mutex;
+    std::exception_ptr abortError;
+
     auto worker = [&] {
         while (true) {
-            if (stopRequested && stopRequested())
+            if ((stopRequested && stopRequested()) ||
+                abortRun.load(std::memory_order_acquire))
                 return;
             const std::size_t j =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (j >= torun.size())
                 return;
             const std::size_t i = torun[j];
-            const RunResult metrics = fn(specs[i]);
-            rows[i] = makeRow(specs[i], metrics);
-            present[i] = 1;
+
+            // Row sandbox: every attempt runs under the row's
+            // identity scope (so a SimError raised anywhere inside
+            // names this row) and its exception is contained here.
+            const std::string identity = specIdentityKey(specs[i]);
+            RowFailure fail;
+            fail.index = i;
+            fail.identity = identity;
+            std::exception_ptr raised;
+            RunResult metrics;
+            bool ok = false;
+            const unsigned max_attempts =
+                failPolicy == FailPolicy::Retry ? 1 + retryLimit : 1;
+            for (unsigned a = 0; a < max_attempts && !ok; ++a) {
+                fail.attempts = a + 1;
+                try {
+                    ErrorIdentityScope scope(identity.c_str());
+                    metrics = (a == 0 || !retryFn)
+                        ? fn(specs[i]) : retryFn(specs[i]);
+                    ok = true;
+                    if (a > 0) {
+                        fail.recovered = true;
+                        fail.degraded = retryFn != nullptr;
+                    }
+                } catch (const SimError &e) {
+                    fail.error = e.location() + ": " + e.message();
+                    fail.tick = e.tick();
+                    fail.tickKnown = e.tickKnown();
+                    raised = std::current_exception();
+                } catch (const std::exception &e) {
+                    fail.error = e.what();
+                    fail.tickKnown = false;
+                    raised = std::current_exception();
+                } catch (...) {
+                    fail.error = "unknown error";
+                    fail.tickKnown = false;
+                    raised = std::current_exception();
+                }
+            }
+
+            if (ok) {
+                rows[i] = makeRow(specs[i], metrics);
+                present[i] = 1;
+            }
             const std::size_t finished =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (progress || rowSink) {
+            if (progress || rowSink || failureSink) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
-                if (rowSink)
+                // Failure first: a journal then reads as failure-
+                // then-success for recovered rows (audit trail; the
+                // success supersedes on parse).
+                if (failureSink && (!ok || fail.recovered))
+                    failureSink(fail);
+                if (ok && rowSink)
                     rowSink(specs[i], rows[i]);
                 if (progress)
                     progress(specs[i], finished, torun.size());
+            }
+            if (!ok && failPolicy == FailPolicy::Abort) {
+                {
+                    std::lock_guard<std::mutex> guard(abort_mutex);
+                    if (!abortError)
+                        abortError = raised;
+                }
+                abortRun.store(true, std::memory_order_release);
+                return;
             }
         }
     };
@@ -144,6 +208,9 @@ SweepEngine::run(const SweepGrid &grid, const RunFn &fn) const
         for (std::thread &t : threads)
             t.join();
     }
+
+    if (abortError)
+        std::rethrow_exception(abortError);
 
     ResultTable table;
     for (std::size_t i = 0; i < specs.size(); ++i) {

@@ -36,12 +36,60 @@
 namespace c3d::exp
 {
 
+/**
+ * What to do when a grid point's run throws (SimError from a panic,
+ * a tripped watchdog, or any std::exception).
+ *
+ * Abort preserves the old behavior at sweep granularity: workers
+ * stop claiming and run() rethrows the first failure after the pool
+ * joins (in-flight rows still reach the row sink first). Skip
+ * contains the failure to its row: the failure is reported through
+ * the failure sink and the row is simply absent from the table.
+ * Retry re-runs the row up to N more times through the retry
+ * function (when set) before giving up as Skip does -- the sweep CLI
+ * sets the retry function to the sequential MultiQueue-1 oracle, so
+ * a row that failed under the parallel kernel gracefully degrades to
+ * the slower deterministic kernel instead of being lost.
+ */
+enum class FailPolicy
+{
+    Abort,
+    Skip,
+    Retry,
+};
+
+/**
+ * A contained row failure, as reported to the failure sink. One is
+ * reported per row whose first attempt failed -- including rows a
+ * retry later recovered (recovered=true), so journals keep the full
+ * audit trail.
+ */
+struct RowFailure
+{
+    std::size_t index = 0;   //!< spec ordinal in grid order
+    std::string identity;    //!< specIdentityKey of the row
+    std::string error;       //!< diagnostic (location + message)
+    std::uint64_t tick = 0;  //!< simulated tick of the failure
+    bool tickKnown = false;  //!< tick field is meaningful
+    unsigned attempts = 1;   //!< total attempts made on the row
+    bool recovered = false;  //!< a later attempt completed the row
+    bool degraded = false;   //!< recovery used the retry (fallback) fn
+};
+
 /** Executes sweep grids on a worker thread pool. */
 class SweepEngine
 {
   public:
     /** Maps one grid point to its metrics. */
     using RunFn = std::function<RunResult(const RunSpec &)>;
+
+    /**
+     * Failure sink, invoked serially (under the same lock as the
+     * progress callback) for each row whose first attempt failed.
+     * For recovered rows it fires *before* the row sink, so a
+     * journal records failure-then-success in that order.
+     */
+    using FailureFn = std::function<void(const RowFailure &)>;
 
     /**
      * Progress callback, invoked serially (under an internal lock)
@@ -72,12 +120,44 @@ class SweepEngine
      * so rows do not record which kernel produced them — exactly as
      * --jobs does not appear in rows.
      */
-    void setKernelOptions(KernelOptions k) { kernelOpts = k; }
-    KernelOptions kernelOptions() const { return kernelOpts; }
+    void setKernelOptions(KernelOptions k) { runOpts.kernel = k; }
+    KernelOptions kernelOptions() const { return runOpts.kernel; }
+
+    /**
+     * Full run options (kernel + watchdog budgets + fault plan)
+     * forwarded to every simulated run. Like the kernel choice, none
+     * of it is row identity: the watchdog only observes and faults
+     * only make rows fail.
+     */
+    void setRunOptions(const RunOptions &o) { runOpts = o; }
+    const RunOptions &runOptions() const { return runOpts; }
 
     void setProgress(ProgressFn fn) { progress = std::move(fn); }
 
     void setRowSink(RowFn fn) { rowSink = std::move(fn); }
+
+    /**
+     * Containment policy for throwing runs (default Abort). For
+     * Retry, @p retries is the number of re-runs after the failed
+     * first attempt.
+     */
+    void
+    setFailPolicy(FailPolicy p, unsigned retries = 1)
+    {
+        failPolicy = p;
+        retryLimit = retries;
+    }
+
+    FailPolicy policy() const { return failPolicy; }
+
+    void setFailureSink(FailureFn fn) { failureSink = std::move(fn); }
+
+    /**
+     * Run function used for retry attempts (Retry policy only); the
+     * first attempt always uses the primary function. Unset, retries
+     * re-run the primary function.
+     */
+    void setRetryFn(RunFn fn) { retryFn = std::move(fn); }
 
     /**
      * Restrict execution to shard @p index of @p count: only specs
@@ -115,7 +195,11 @@ class SweepEngine
     /** Run every grid point through the timing simulator. */
     ResultTable run(const SweepGrid &grid) const;
 
-    /** Run every grid point through @p fn. */
+    /**
+     * Run every grid point through @p fn. Under FailPolicy::Abort a
+     * contained failure is rethrown (as the original exception,
+     * typically SimError) after the pool joins.
+     */
     ResultTable run(const SweepGrid &grid, const RunFn &fn) const;
 
     /**
@@ -124,9 +208,9 @@ class SweepEngine
      */
     static RunResult simulateSpec(const RunSpec &spec);
 
-    /** simulateSpec with an explicit kernel selection. */
+    /** simulateSpec with explicit run options. */
     static RunResult simulateSpec(const RunSpec &spec,
-                                  KernelOptions kernel);
+                                  const RunOptions &opts);
 
     /** Build the identity-labeled result row for a finished run. */
     static ResultRow makeRow(const RunSpec &spec,
@@ -136,9 +220,13 @@ class SweepEngine
     unsigned workerCount;
     unsigned shardIdx = 0;
     unsigned shardCnt = 1;
-    KernelOptions kernelOpts;
+    RunOptions runOpts;
+    FailPolicy failPolicy = FailPolicy::Abort;
+    unsigned retryLimit = 1;
     ProgressFn progress;
     RowFn rowSink;
+    FailureFn failureSink;
+    RunFn retryFn;
     std::unordered_map<std::size_t, ResultRow> prefilled;
     std::function<bool()> stopRequested;
 };

@@ -22,6 +22,18 @@ struct HopNode
     EventQueue::Callback cb;
 };
 
+/**
+ * Injected livelock: a zero-delay event that reschedules itself, so
+ * the queue executes forever at one tick. The watchdog's no-progress
+ * detector is what stops it (sim/watchdog.hh); without a watchdog
+ * the run would spin, which is exactly the failure being modeled.
+ */
+void
+stallSpin(EventQueue &q)
+{
+    q.schedule(0, [&q] { stallSpin(q); });
+}
+
 } // namespace
 
 Interconnect::Interconnect(QueueRouter &rt, const SystemConfig &cfg,
@@ -111,6 +123,31 @@ Interconnect::send(SocketId src, SocketId dst, PacketKind kind,
         // under per-socket queues). Pinned by test_interconnect.
         router.at(src).schedule(0, std::move(onArrival));
         return;
+    }
+
+    if (fault && fault->armed()) {
+        const Tick now = router.at(src).now();
+        if (fault->shouldPanic(now)) {
+            // The diagnostic names the *configured* tick so the
+            // message is stable across reruns even if traffic
+            // density shifts the firing send by a few ticks.
+            c3d_panic("injected fault: panic@%llu (inter-socket "
+                      "send %u->%u at tick %llu)",
+                      static_cast<unsigned long long>(
+                          fault->armedPlan().at),
+                      src, dst,
+                      static_cast<unsigned long long>(now));
+        }
+        if (fault->takeHang(now)) {
+            // Swallow the packet: its arrival continuation never
+            // runs and the transaction never completes. The kernel's
+            // drain checks (Runner/CellExecutor) report the hang.
+            return;
+        }
+        if (fault->takeStall()) {
+            stallSpin(router.at(src));
+            return;
+        }
     }
 
     const std::uint32_t bytes = kind == PacketKind::Data

@@ -21,6 +21,7 @@
 #include "common/types.hh"
 #include "interconnect/channel.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_injector.hh"
 #include "sim/queue_router.hh"
 
 namespace c3d
@@ -67,6 +68,15 @@ class Interconnect
     void send(SocketId src, SocketId dst, PacketKind kind,
               EventQueue::Callback onArrival);
 
+    /**
+     * Attach the machine's fault injector (testing only; see
+     * sim/fault_injector.hh). Armed faults trigger on inter-socket
+     * sends -- the chokepoint every design's coherence traffic
+     * crosses -- so each failure class fires deterministically under
+     * the sequential kernels.
+     */
+    void setFaultInjector(FaultInjector *f) { fault = f; }
+
     /** Number of ring/P2P hops between two sockets. */
     std::uint32_t hopCount(SocketId src, SocketId dst) const;
 
@@ -95,6 +105,7 @@ class Interconnect
                     EventQueue::Callback onArrival);
 
     QueueRouter &router;
+    FaultInjector *fault = nullptr; //!< armed only in testing runs
     const std::uint32_t numSockets;
     const Tick hopLatency;
     const std::uint32_t controlBytesPerPkt;

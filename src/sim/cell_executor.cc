@@ -31,22 +31,40 @@ CellExecutor::run(const BoundaryHook &boundary)
     cells = 0;
     arrived.store(0, std::memory_order_relaxed);
     sense.store(false, std::memory_order_relaxed);
+    faulted.store(false, std::memory_order_relaxed);
+    firstFault = nullptr;
 
     if (numThreads == 1) {
         workerLoop(0, boundary);
-        return;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(numThreads - 1);
+        for (unsigned wid = 1; wid < numThreads; ++wid) {
+            pool.emplace_back([this, wid, &boundary] {
+                workerLoop(wid, boundary);
+            });
+        }
+        workerLoop(0, boundary);
+        for (auto &t : pool)
+            t.join();
     }
 
-    std::vector<std::thread> pool;
-    pool.reserve(numThreads - 1);
-    for (unsigned wid = 1; wid < numThreads; ++wid) {
-        pool.emplace_back([this, wid, &boundary] {
-            workerLoop(wid, boundary);
-        });
+    // Rethrow a contained fault on the calling thread, after every
+    // worker has parked -- the machine is stopped but its state is
+    // whatever the fault left behind; the caller owns disposal.
+    if (firstFault)
+        std::rethrow_exception(firstFault);
+}
+
+void
+CellExecutor::recordFault(std::exception_ptr e)
+{
+    {
+        std::lock_guard<std::mutex> guard(faultMutex);
+        if (!firstFault)
+            firstFault = e;
     }
-    workerLoop(0, boundary);
-    for (auto &t : pool)
-        t.join();
+    faulted.store(true, std::memory_order_release);
 }
 
 void
@@ -56,15 +74,39 @@ CellExecutor::workerLoop(unsigned wid, const BoundaryHook &boundary)
     while (true) {
         // Execute this worker's queues through the current cell.
         // Causal closure makes the per-socket order irrelevant.
-        const Tick cell_end = cellBase + cellW - 1;
-        for (SocketId s = wid; s < sockets; s += numThreads)
-            m.queueAt(s).run(cell_end);
+        // A throwing event (SimError) is recorded, not propagated:
+        // the worker must keep reaching barriers or the other
+        // workers would spin forever.
+        if (!faulted.load(std::memory_order_acquire)) {
+            try {
+                const Tick cell_end = cellBase + cellW - 1;
+                for (SocketId s = wid; s < sockets; s += numThreads)
+                    m.queueAt(s).run(cell_end);
+            } catch (...) {
+                recordFault(std::current_exception());
+            }
+        }
 
         // One barrier per cell; last arriver is the master.
         const bool my_sense = !sense.load(std::memory_order_relaxed);
         if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             numThreads) {
-            masterStep(boundary);
+            if (faulted.load(std::memory_order_acquire)) {
+                // Fault anywhere stops the machine at this boundary;
+                // skipping masterStep also skips its drain checks,
+                // which would misread the half-executed state.
+                stop = true;
+            } else {
+                try {
+                    masterStep(boundary);
+                } catch (...) {
+                    // The master's own panics (lost-wakeup drain
+                    // check, claim-commit asserts, boundary hook)
+                    // must still release the barrier below.
+                    recordFault(std::current_exception());
+                    stop = true;
+                }
+            }
             arrived.store(0, std::memory_order_relaxed);
             sense.store(my_sense, std::memory_order_release);
         } else {
@@ -113,8 +155,9 @@ CellExecutor::masterStep(const BoundaryHook &boundary)
 
     if (min_next == MaxTick) {
         if (!workDone) {
-            c3d_panic("parallel kernel drained with simulated work "
-                      "outstanding (lost wakeup?)");
+            c3d_panic("parallel kernel drained at tick %llu with "
+                      "simulated work outstanding (lost wakeup?)",
+                      static_cast<unsigned long long>(q));
         }
         stop = true;
         return;

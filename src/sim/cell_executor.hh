@@ -41,7 +41,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
 
 #include "common/types.hh"
 #include "sim/machine.hh"
@@ -75,6 +77,15 @@ class CellExecutor
      * machine is quiescent. Panics if the machine drains while the
      * hook still reports outstanding work (lost wakeup in the
      * simulated program). Runs the calling thread as worker 0.
+     *
+     * Fault containment: an exception escaping any worker's event
+     * execution (a SimError from c3d_panic/c3d_assert, including the
+     * watchdog's) does not tear down the process or deadlock the
+     * barrier. The faulting worker records the exception and keeps
+     * arriving at barriers; the next barrier master sees the fault,
+     * stops every worker, and run() rethrows the first recorded
+     * exception on the calling thread after the pool joins -- so the
+     * sweep layer can contain the failure to its row.
      */
     void run(const BoundaryHook &boundary);
 
@@ -86,6 +97,8 @@ class CellExecutor
     void workerLoop(unsigned wid, const BoundaryHook &boundary);
     /** Master-only boundary step; returns with stop/cellBase set. */
     void masterStep(const BoundaryHook &boundary);
+    /** Record @p e as the run's fault (first one wins). */
+    void recordFault(std::exception_ptr e);
 
     Machine &m;
     const unsigned numThreads;
@@ -106,6 +119,13 @@ class CellExecutor
     bool stop = false;
     bool workDone = false;
     std::uint64_t cells = 0;
+
+    // Fault containment (cold path; see run()). `faulted` is checked
+    // by every worker each cell so a fault anywhere stops the whole
+    // machine within one barrier round.
+    std::atomic<bool> faulted{false};
+    std::mutex faultMutex;
+    std::exception_ptr firstFault;
 };
 
 } // namespace c3d

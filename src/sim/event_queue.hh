@@ -39,11 +39,16 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "common/types.hh"
 #include "sim/inline_function.hh"
+#include "sim/watchdog.hh"
 
 namespace c3d
 {
@@ -132,6 +137,9 @@ class EventQueue
     bool
     run(Tick maxTick = MaxTick)
     {
+        // Publish this queue's clock so a panic raised from inside a
+        // callback is stamped with the simulated time (SimError).
+        TickSourceScope tick_scope(&currentTick);
         std::size_t idx;
         Tick t;
         while (peekNext(idx, t)) {
@@ -150,8 +158,54 @@ class EventQueue
         Tick t;
         if (!peekNext(idx, t))
             return false;
+        TickSourceScope tick_scope(&currentTick);
         executeAt(idx, t);
         return true;
+    }
+
+    /**
+     * Arm (or with nullptr disarm) the progress watchdog. The state
+     * is shared across all of a machine's queues; per-queue stall
+     * tracking restarts from here. The watchdog only observes --
+     * it never schedules events -- so arming it cannot change the
+     * executed event sequence (byte-identity is preserved).
+     */
+    void
+    attachWatchdog(WatchdogState *w)
+    {
+        wd = w;
+        wdLastTick = 0;
+        wdSameTickRun = 0;
+        wdSinceBulk = 0;
+    }
+
+    /**
+     * One-line description of the pending work, for livelock
+     * diagnostics: how many events are queued and where the head of
+     * the queue sits. (Callbacks are opaque captures, so the tick
+     * histogram is the most a report can say about them.)
+     */
+    std::string
+    pendingSummary() const
+    {
+        std::size_t idx;
+        Tick t;
+        if (!peekNext(idx, t))
+            return "queue empty";
+        std::size_t head = 0;
+        if (wheelCount != 0) {
+            const Bucket &b = buckets[idx];
+            head = b.events.size() - b.head;
+        } else {
+            for (const FarEvent &fe : overflow)
+                head += fe.when == t;
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%zu events pending, next at tick %" PRIu64
+                      " (%zu at that tick)",
+                      pending(), static_cast<std::uint64_t>(t), head);
+        return buf;
     }
 
     /**
@@ -175,6 +229,9 @@ class EventQueue
         nextFarSequence = 0;
         executed = 0;
         heapEvents = 0;
+        wdLastTick = 0;
+        wdSameTickRun = 0;
+        wdSinceBulk = 0;
     }
 
   private:
@@ -351,7 +408,53 @@ class EventQueue
             b.head = 0;
             clearOccupied(idx);
         }
+        if (wd)
+            watchdogCheck(t);
         cb();
+    }
+
+    /**
+     * Armed-watchdog bookkeeping, run before each event's callback.
+     * The stall counter is per queue and exact (deterministic trip
+     * point under the sequential kernel); the machine-wide event and
+     * wall-clock budgets are folded in every BulkPeriod events.
+     */
+    void
+    watchdogCheck(Tick t)
+    {
+        const WatchdogLimits &l = wd->budgets();
+        if (l.stallEvents) {
+            if (t != wdLastTick) {
+                wdLastTick = t;
+                wdSameTickRun = 0;
+            }
+            if (++wdSameTickRun > l.stallEvents) {
+                c3d_panic("watchdog: no progress -- %" PRIu64
+                          " events executed at tick %" PRIu64
+                          " without the clock advancing (livelock); "
+                          "%s",
+                          wdSameTickRun - 1,
+                          static_cast<std::uint64_t>(t),
+                          pendingSummary().c_str());
+            }
+        }
+        if (++wdSinceBulk >= WatchdogState::BulkPeriod) {
+            const std::uint64_t n = wdSinceBulk;
+            wdSinceBulk = 0;
+            if (wd->totalExceeded(n)) {
+                c3d_panic("watchdog: executed-event budget (%" PRIu64
+                          ") exceeded at tick %" PRIu64 "; %s",
+                          l.maxEvents,
+                          static_cast<std::uint64_t>(t),
+                          pendingSummary().c_str());
+            }
+            if (wd->wallExpired()) {
+                c3d_panic("watchdog: wall-clock budget (%" PRIu64
+                          " ms) exceeded at tick %" PRIu64 "; %s",
+                          l.wallMs, static_cast<std::uint64_t>(t),
+                          pendingSummary().c_str());
+            }
+        }
     }
 
     std::vector<Bucket> buckets;
@@ -369,6 +472,12 @@ class EventQueue
     Tick currentTick = 0;
     std::uint64_t executed = 0;
     std::uint64_t heapEvents = 0;
+
+    /** Progress watchdog (sim/watchdog.hh); null = disarmed. */
+    WatchdogState *wd = nullptr;
+    Tick wdLastTick = 0;           //!< tick of the last checked event
+    std::uint64_t wdSameTickRun = 0; //!< events run at wdLastTick
+    std::uint64_t wdSinceBulk = 0; //!< events since the last bulk fold
 };
 
 } // namespace c3d

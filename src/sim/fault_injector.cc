@@ -1,0 +1,61 @@
+#include "sim/fault_injector.hh"
+
+#include "common/cli.hh"
+
+namespace c3d
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::Panic:
+        return "panic";
+      case FaultKind::Hang:
+        return "hang";
+      case FaultKind::StallMsg:
+        return "stall-msg";
+    }
+    return "?";
+}
+
+bool
+parseFaultSpec(const std::string &text, FaultPlan &out,
+               std::string &error)
+{
+    FaultPlan plan;
+    std::string spec = text;
+    if (spec.rfind("par:", 0) == 0) {
+        plan.parallelOnly = true;
+        spec = spec.substr(4);
+    }
+    const std::size_t sep = spec.find('@');
+    if (sep == std::string::npos) {
+        error = "bad fault spec '" + text +
+            "' (want [par:]panic@TICK, [par:]hang@TICK or "
+            "[par:]stall-msg@N)";
+        return false;
+    }
+    const std::string kind = spec.substr(0, sep);
+    if (kind == "panic")
+        plan.kind = FaultKind::Panic;
+    else if (kind == "hang")
+        plan.kind = FaultKind::Hang;
+    else if (kind == "stall-msg")
+        plan.kind = FaultKind::StallMsg;
+    else {
+        error = "unknown fault kind '" + kind + "'";
+        return false;
+    }
+    if (!parseU64(spec.substr(sep + 1), plan.at) ||
+        (plan.kind == FaultKind::StallMsg && plan.at == 0)) {
+        error = "bad fault trigger in '" + text + "'";
+        return false;
+    }
+    out = plan;
+    return true;
+}
+
+} // namespace c3d

@@ -24,6 +24,7 @@ Machine::Machine(const SystemConfig &config, KernelMode kernel_mode)
     }
 
     noc = std::make_unique<Interconnect>(router_, cfg, &statGroup);
+    noc->setFaultInjector(&faultInjector_);
     mapper = std::make_unique<PageMapper>(
         cfg.mapping, cfg.numSockets, &statGroup,
         /*deferred_touch=*/mode == KernelMode::MultiQueue);

@@ -21,8 +21,10 @@
 #include "mapping/page_classifier.hh"
 #include "mapping/page_mapper.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_injector.hh"
 #include "sim/queue_router.hh"
 #include "sim/socket.hh"
+#include "sim/watchdog.hh"
 
 namespace c3d
 {
@@ -108,6 +110,24 @@ class Machine
                !config.tlbPageClassification;
     }
 
+    /**
+     * Arm (or with nullptr disarm) the progress watchdog on every
+     * kernel queue. The state is owned by the caller (Runner) and
+     * must outlive the run.
+     */
+    void
+    attachWatchdog(WatchdogState *w)
+    {
+        for (auto &q : queues)
+            q->attachWatchdog(w);
+    }
+
+    /**
+     * The machine's fault injector (testing only). Disarmed by
+     * default; the Runner arms it from RunOptions::fault.
+     */
+    FaultInjector &faultInjector() { return faultInjector_; }
+
     /** Events executed across all kernel queues. */
     std::uint64_t totalEventsExecuted() const;
     /** Heap-fallback callbacks across all kernel queues. */
@@ -152,6 +172,7 @@ class Machine
     /** One queue (SingleQueue) or one per socket (MultiQueue). */
     std::vector<std::unique_ptr<EventQueue>> queues;
     QueueRouter router_;
+    FaultInjector faultInjector_;
     StatGroup statGroup;
     std::unique_ptr<Interconnect> noc;
     std::unique_ptr<PageMapper> mapper;

@@ -12,13 +12,25 @@ namespace c3d
 {
 
 Runner::Runner(const SystemConfig &cfg, Workload &wl,
-               KernelOptions kernel_opts)
+               RunOptions run_opts)
     : m(std::make_unique<Machine>(
           cfg, Machine::parallelKernelEligible(cfg)
                    ? KernelMode::MultiQueue
                    : KernelMode::SingleQueue)),
-      workload(wl), kernel(kernel_opts)
+      workload(wl), opts(run_opts)
 {
+    if (opts.watchdog.any()) {
+        watchdog.arm(opts.watchdog);
+        m->attachWatchdog(&watchdog);
+    }
+    // parallelOnly faults arm only when the parallel kernel actually
+    // drives the run (the retry fallback passes parallel=false, so
+    // such faults vanish on the sequential re-run).
+    m->faultInjector().arm(
+        opts.fault,
+        opts.kernel.parallel &&
+            m->kernelMode() == KernelMode::MultiQueue);
+
     // FT1's serial-phase placement happens before any timed access.
     workload.preTouchPages(m->pageMapper());
 
@@ -106,7 +118,9 @@ Runner::run(std::uint64_t warmup_ops, std::uint64_t measure_ops)
     EventQueue &eq = m->eventQueue();
     while (done_remaining > 0) {
         if (!eq.step()) {
-            c3d_panic("event queue drained with %u cores unfinished",
+            c3d_panic("event queue drained at tick %llu with %u "
+                      "cores unfinished (lost wakeup?)",
+                      static_cast<unsigned long long>(eq.now()),
                       done_remaining);
         }
     }
@@ -165,9 +179,9 @@ Runner::runMultiQueue(std::uint64_t warmup_ops,
     }
 
     unsigned threads = 1;
-    if (kernel.parallel) {
-        threads = kernel.threads
-            ? kernel.threads
+    if (opts.kernel.parallel) {
+        threads = opts.kernel.threads
+            ? opts.kernel.threads
             : std::max(1u, std::min<unsigned>(
                                cfg.numSockets,
                                std::thread::hardware_concurrency()));
@@ -256,7 +270,7 @@ RunResult
 runWorkload(const SystemConfig &cfg,
             const WorkloadProfile &scaled_profile,
             std::uint64_t warmup_ops, std::uint64_t measure_ops,
-            KernelOptions kernel)
+            RunOptions opts)
 {
     // Trace profiles replay their file (streaming, per-core lanes).
     // Passing the profile's content hash enables the reader's scan
@@ -284,7 +298,7 @@ runWorkload(const SystemConfig &cfg,
         }
         ComposedWorkload wl(spec, scaled_profile.seed,
                             cfg.totalCores());
-        Runner runner(cfg, wl, kernel);
+        Runner runner(cfg, wl, opts);
         runner.enableTenantTracking(wl.coreTenants(),
                                     wl.tenantNames());
         return runner.run(warmup_ops, measure_ops);
@@ -292,12 +306,12 @@ runWorkload(const SystemConfig &cfg,
     if (scaled_profile.isTrace()) {
         TraceFileWorkload wl(scaled_profile.tracePath,
                              scaled_profile.traceHash);
-        Runner runner(cfg, wl, kernel);
+        Runner runner(cfg, wl, opts);
         return runner.run(warmup_ops, measure_ops);
     }
     SyntheticWorkload wl(scaled_profile, cfg.totalCores(),
                          cfg.coresPerSocket);
-    Runner runner(cfg, wl, kernel);
+    Runner runner(cfg, wl, opts);
     return runner.run(warmup_ops, measure_ops);
 }
 

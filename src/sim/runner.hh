@@ -101,6 +101,25 @@ struct KernelOptions
     unsigned threads = 0;
 };
 
+/**
+ * Everything configurable about how one run executes -- as opposed
+ * to *what* it simulates (SystemConfig/Workload). None of it is part
+ * of row identity: the kernel choice reproduces the sequential
+ * oracle byte-for-byte, the watchdog only observes, and the fault
+ * plan exists to make runs fail, not to change surviving results.
+ * Implicitly constructible from KernelOptions so pre-existing call
+ * sites that only select a kernel keep working.
+ */
+struct RunOptions
+{
+    KernelOptions kernel;
+    WatchdogLimits watchdog; //!< progress budgets; default all off
+    FaultPlan fault;         //!< injected fault; default none
+
+    RunOptions() = default;
+    RunOptions(const KernelOptions &k) : kernel(k) {}
+};
+
 /** Drives a full simulation. */
 class Runner
 {
@@ -108,11 +127,11 @@ class Runner
     /**
      * @param cfg machine configuration
      * @param workload reference-stream source (not owned)
-     * @param kernel kernel selection (defaults to the sequential
-     *        oracle; see KernelOptions)
+     * @param opts execution options (kernel selection, watchdog
+     *        budgets, fault injection; see RunOptions)
      */
     Runner(const SystemConfig &cfg, Workload &workload,
-           KernelOptions kernel = {});
+           RunOptions opts = {});
     ~Runner();
 
     /**
@@ -145,7 +164,8 @@ class Runner
 
     std::unique_ptr<Machine> m;
     Workload &workload;
-    KernelOptions kernel;
+    RunOptions opts;
+    WatchdogState watchdog; //!< armed iff opts.watchdog.any()
     std::vector<std::unique_ptr<TraceCpu>> cpus;
     Barrier barrier;
 
@@ -162,7 +182,7 @@ RunResult runWorkload(const SystemConfig &cfg,
                       const WorkloadProfile &scaled_profile,
                       std::uint64_t warmup_ops,
                       std::uint64_t measure_ops,
-                      KernelOptions kernel = {});
+                      RunOptions opts = {});
 
 } // namespace c3d
 

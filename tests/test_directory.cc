@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "coherence/blocking.hh"
 #include "coherence/directory.hh"
+#include "common/sim_error.hh"
 
 namespace c3d
 {
@@ -182,12 +185,18 @@ TEST(BlockingTable, SameBlockDifferentOffsets)
     EXPECT_TRUE(second);
 }
 
-TEST(BlockingTableDeathTest, ReleaseWithoutAcquirePanics)
+TEST(BlockingTablePanicTest, ReleaseWithoutAcquireThrows)
 {
     StatGroup g("t");
     BlockingTable bt;
     bt.init(&g, "bt");
-    EXPECT_DEATH(bt.release(0x1000), "unlocked");
+    try {
+        bt.release(0x1000);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("unlocked"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

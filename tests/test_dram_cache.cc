@@ -7,6 +7,7 @@
 
 #include "common/config.hh"
 #include "common/rng.hh"
+#include "common/sim_error.hh"
 #include "dramcache/dram_cache.hh"
 #include "dramcache/miss_predictor.hh"
 #include "sim/event_queue.hh"
@@ -110,7 +111,13 @@ TEST(DramCache, CleanDesignRejectsDirtyInsert)
     StatGroup g("t");
     SystemConfig cfg = dcConfig(Design::C3D);
     DramCache dc(eq, cfg, 0, &g);
-    EXPECT_DEATH(dc.insert(0x1000, /*dirty=*/true), "dirty");
+    try {
+        dc.insert(0x1000, /*dirty=*/true);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("dirty"),
+                  std::string::npos);
+    }
 }
 
 TEST(DramCache, DirtyDesignTracksDirtyBlocks)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/sim_error.hh"
 #include "sim/event_queue.hh"
 
 namespace c3d
@@ -485,13 +486,21 @@ TEST(EventQueue, TwoQueueLockstepMatchesMergedModel)
     }
 }
 
-TEST(EventQueueDeathTest, PastSchedulingPanics)
+TEST(EventQueuePanicTest, PastSchedulingThrowsSimError)
 {
     EventQueue eq;
-    eq.schedule(10, [&] {
-        EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
-    });
-    eq.run();
+    eq.schedule(10, [&] { eq.scheduleAt(5, [] {}); });
+    try {
+        eq.run();
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("past"),
+                  std::string::npos);
+        // run() publishes the queue clock, so the error carries
+        // the simulated tick of the offending event.
+        EXPECT_TRUE(e.tickKnown());
+        EXPECT_EQ(e.tick(), 10u);
+    }
 }
 
 } // namespace

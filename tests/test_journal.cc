@@ -393,5 +393,238 @@ TEST(Journal, MergeRefusesCrossGridAndCollisions)
     EXPECT_NE(error.find("out of range"), std::string::npos) << error;
 }
 
+exp::JournalFailure
+fakeFailure(const TestJournal &j, std::size_t index,
+            bool tick_known = true)
+{
+    exp::JournalFailure f;
+    f.identity = exp::specIdentityKey(j.specs[index]);
+    f.error = "src/x.cc:1: injected fault: panic@0";
+    f.tick = tick_known ? 80 + index : 0; // unknown ticks are not
+                                          // serialized
+    f.tickKnown = tick_known;
+    f.attempts = 2;
+    return f;
+}
+
+TEST(Journal, FailureRecordRoundTripsThroughWriterAndReader)
+{
+    const TestJournal j = buildJournal();
+    const std::string path =
+        testing::TempDir() + "c3d_journal_failure.jsonl";
+
+    exp::JournalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.create(path, j.specs.size(), j.fingerprint,
+                              error)) << error;
+    ASSERT_TRUE(writer.append(0, j.rows[0], error)) << error;
+    const exp::JournalFailure with_tick = fakeFailure(j, 1);
+    const exp::JournalFailure no_tick = fakeFailure(j, 2, false);
+    ASSERT_TRUE(writer.appendFailure(1, with_tick, error)) << error;
+    ASSERT_TRUE(writer.appendFailure(2, no_tick, error)) << error;
+    writer.close();
+
+    exp::JournalData data;
+    ASSERT_TRUE(exp::readJournalFile(path, data, error)) << error;
+    ASSERT_EQ(data.entries.size(), 3u);
+    EXPECT_FALSE(data.entries[0].failed);
+    ASSERT_TRUE(data.entries[1].failed);
+    EXPECT_TRUE(data.entries[1].failure.sameAs(with_tick));
+    ASSERT_TRUE(data.entries[2].failed);
+    EXPECT_TRUE(data.entries[2].failure.sameAs(no_tick));
+    EXPECT_FALSE(data.entries[2].failure.tickKnown);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, SuccessSupersedesFailure)
+{
+    // The retry audit trail: a failure line then a success line for
+    // the same ordinal parse to one successful entry.
+    const TestJournal j = buildJournal();
+    std::string text =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    text += exp::journalFailureLine(3, fakeFailure(j, 3));
+    text += exp::journalEntryLine(3, j.rows[3]);
+
+    exp::JournalData data;
+    std::string error;
+    ASSERT_TRUE(exp::parseJournal(text, data, error)) << error;
+    ASSERT_EQ(data.entries.size(), 1u);
+    EXPECT_FALSE(data.entries[0].failed);
+    EXPECT_TRUE(data.entries[0].row.sameAs(j.rows[3]));
+
+    // A later failure also replaces an earlier one (re-failed).
+    text = exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    text += exp::journalFailureLine(3, fakeFailure(j, 3));
+    exp::JournalFailure again = fakeFailure(j, 3);
+    again.attempts = 3;
+    text += exp::journalFailureLine(3, again);
+    ASSERT_TRUE(exp::parseJournal(text, data, error)) << error;
+    ASSERT_EQ(data.entries.size(), 1u);
+    ASSERT_TRUE(data.entries[0].failed);
+    EXPECT_EQ(data.entries[0].failure.attempts, 3u);
+}
+
+TEST(Journal, FailureAfterSuccessFailsLoudly)
+{
+    const TestJournal j = buildJournal();
+    std::string text = j.text;
+    text += exp::journalFailureLine(3, fakeFailure(j, 3));
+
+    exp::JournalData data;
+    std::string error;
+    EXPECT_FALSE(exp::parseJournal(text, data, error));
+    EXPECT_NE(error.find("failure record after a success"),
+              std::string::npos)
+        << error;
+}
+
+TEST(Journal, SupersedeWithWrongIdentityFailsLoudly)
+{
+    const TestJournal j = buildJournal();
+    std::string text =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    text += exp::journalFailureLine(3, fakeFailure(j, 3));
+    // A "recovery" carrying a different row's identity: cross-grid
+    // contamination, not a retry.
+    text += exp::journalEntryLine(3, j.rows[5]);
+
+    exp::JournalData data;
+    std::string error;
+    EXPECT_FALSE(exp::parseJournal(text, data, error));
+    EXPECT_NE(error.find("different identity"), std::string::npos)
+        << error;
+}
+
+TEST(Journal, MergeRefusesFailureSuccessCollision)
+{
+    const TestJournal j = buildJournal();
+    std::string error;
+
+    // Same ordinal: one journal completed it, the other failed it.
+    exp::JournalData ok_part, failed_part;
+    ASSERT_TRUE(exp::parseJournal(j.text, ok_part, error)) << error;
+    std::string failed_text =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    failed_text += exp::journalFailureLine(2, fakeFailure(j, 2));
+    ASSERT_TRUE(exp::parseJournal(failed_text, failed_part, error))
+        << error;
+    exp::ResultTable merged;
+    EXPECT_FALSE(
+        exp::mergeJournals({ok_part, failed_part}, merged, error));
+    EXPECT_NE(error.find("failure/success collision"),
+              std::string::npos)
+        << error;
+
+    // Same identity under different ordinals, mixed outcomes.
+    std::string a_text =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    a_text += exp::journalEntryLine(1, j.rows[1]);
+    std::string b_text =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    exp::JournalFailure same_id = fakeFailure(j, 1);
+    b_text += exp::journalFailureLine(7, same_id);
+    exp::JournalData a, b;
+    ASSERT_TRUE(exp::parseJournal(a_text, a, error)) << error;
+    ASSERT_TRUE(exp::parseJournal(b_text, b, error)) << error;
+    EXPECT_FALSE(exp::mergeJournals({a, b}, merged, error));
+    EXPECT_NE(error.find("failure/success collision"),
+              std::string::npos)
+        << error;
+}
+
+TEST(Journal, MergeRefusesUnresolvedFailure)
+{
+    const TestJournal j = buildJournal();
+    std::string text =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    for (std::size_t i = 0; i < j.rows.size(); ++i) {
+        if (i == 5)
+            text += exp::journalFailureLine(5, fakeFailure(j, 5));
+        else
+            text += exp::journalEntryLine(i, j.rows[i]);
+    }
+    exp::JournalData data;
+    std::string error;
+    ASSERT_TRUE(exp::parseJournal(text, data, error)) << error;
+
+    exp::ResultTable merged;
+    EXPECT_FALSE(exp::mergeJournals({data}, merged, error));
+    EXPECT_NE(error.find("grid point 5 failed"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("re-run"), std::string::npos) << error;
+}
+
+TEST(Journal, TruncationFuzzWithFailureRecords)
+{
+    // The every-byte truncation property must hold for journals
+    // holding failure records and a recovery (failure-then-success
+    // supersession) too.
+    const TestJournal j = buildJournal();
+    std::string text =
+        exp::journalHeaderLine(j.specs.size(), j.fingerprint);
+    const std::size_t header_len = text.size();
+
+    // Even ordinals succeed; odd ordinals fail (tick known only for
+    // index % 4 == 1); ordinal 1 recovers in a final success line.
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < j.specs.size(); ++i) {
+        if (i % 2 == 0)
+            lines.push_back(exp::journalEntryLine(i, j.rows[i]));
+        else
+            lines.push_back(exp::journalFailureLine(
+                i, fakeFailure(j, i, i % 4 == 1)));
+    }
+    lines.push_back(exp::journalEntryLine(1, j.rows[1]));
+
+    std::vector<std::size_t> line_ends;
+    std::size_t off = header_len;
+    for (const std::string &l : lines) {
+        text += l;
+        off += l.size();
+        line_ends.push_back(off);
+    }
+
+    for (std::size_t len = 0; len <= text.size(); ++len) {
+        const std::string cut = text.substr(0, len);
+        exp::JournalData data;
+        std::string error;
+        const bool ok = exp::parseJournal(cut, data, error);
+        if (len < header_len) {
+            EXPECT_FALSE(ok) << "len=" << len;
+            continue;
+        }
+        ASSERT_TRUE(ok) << "len=" << len << ": " << error;
+
+        std::size_t complete = 0;
+        while (complete < line_ends.size() &&
+               line_ends[complete] <= len)
+            ++complete;
+        const bool recovered = complete > j.specs.size();
+        ASSERT_EQ(data.entries.size(),
+                  std::min(complete, j.specs.size()))
+            << "len=" << len;
+        EXPECT_EQ(data.truncatedTail, cut.back() != '\n')
+            << "len=" << len;
+
+        for (const exp::JournalEntry &entry : data.entries) {
+            const std::size_t i =
+                static_cast<std::size_t>(entry.index);
+            if (i % 2 == 0 || (i == 1 && recovered)) {
+                EXPECT_FALSE(entry.failed) << "len=" << len;
+                EXPECT_TRUE(entry.row.sameAs(j.rows[i]))
+                    << "len=" << len << " entry=" << i;
+            } else {
+                ASSERT_TRUE(entry.failed) << "len=" << len;
+                EXPECT_EQ(entry.failure.identity,
+                          exp::specIdentityKey(j.specs[i]))
+                    << "len=" << len;
+                EXPECT_EQ(entry.failure.tickKnown, i % 4 == 1)
+                    << "len=" << len;
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace c3d

@@ -26,6 +26,16 @@
  *    byte-identity contract, checked live). The speedup is only
  *    meaningful when the host has >= numSockets hardware threads --
  *    host_hw_threads records the truth next to the number.
+ *  - robustness: the same row with the progress watchdog disarmed
+ *    vs armed at the sweep CLI's defaults, reporting both
+ *    throughputs and the overhead percentage (guarded at < 2% in
+ *    full mode -- the watchdog is designed to be a branch and a
+ *    counter per event; quick mode reports without failing, since
+ *    its runs are too short to measure 2% reliably). Alongside, an
+ *    in-process fault-containment check: a two-point sweep with a
+ *    panic injected into one row under --fail-policy=skip must
+ *    contain exactly that failure and leave the surviving row
+ *    identical to a clean run's (exit non-zero otherwise).
  *
  * The tool exits non-zero if any scheduled callback fell back to a
  * heap allocation during the end-to-end row: the simulator's capture
@@ -47,9 +57,12 @@
 
 #include "cache/tag_array.hh"
 #include "common/rng.hh"
+#include "exp/sweep_engine.hh"
 #include "exp/sweep_grid.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault_injector.hh"
 #include "sim/runner.hh"
+#include "sim/watchdog.hh"
 #include "trace/workload.hh"
 
 namespace
@@ -168,6 +181,12 @@ struct Report
     double parKernelWallSeconds = 0;
     double parKernelEventsPerSec = 0;
     bool parKernelMetricsMatch = true;
+
+    double wdOffEventsPerSec = 0;
+    double wdOnEventsPerSec = 0;
+    double wdOverheadPct = 0;
+    std::size_t containedFaults = 0;
+    bool containmentSurvivorsMatch = true;
 };
 
 void
@@ -358,6 +377,84 @@ benchParallelKernel(Report &rep)
 }
 
 void
+benchRobustness(Report &rep)
+{
+    // Watchdog overhead: the end_to_end row with the watchdog
+    // disarmed vs armed at the sweep CLI's default (the livelock
+    // detector at 2M stalled events). Best-of damps scheduler noise.
+    c3d::exp::SweepGrid grid;
+    grid.workloads = {c3d::facesimProfile()};
+    grid.designs = {c3d::Design::C3D};
+    grid.sockets = {4};
+    if (rep.quick)
+        grid = c3d::exp::quickPreset(grid);
+    const std::vector<c3d::exp::RunSpec> specs = grid.expand();
+    const c3d::exp::RunSpec &spec = specs.front();
+    const int rounds = rep.quick ? 3 : 5;
+
+    auto bestEps = [&](const c3d::RunOptions &opts) {
+        double best = 0.0;
+        for (int r = 0; r < rounds; ++r) {
+            c3d::SyntheticWorkload wl(spec.profile.scaled(spec.scale),
+                                      spec.cfg.totalCores(),
+                                      spec.cfg.coresPerSocket);
+            c3d::Runner runner(spec.cfg, wl, opts);
+            const auto start = Clock::now();
+            runner.run(spec.warmupOps, spec.measureOps);
+            const double eps =
+                static_cast<double>(
+                    runner.machine().totalEventsExecuted()) /
+                secondsSince(start);
+            if (eps > best)
+                best = eps;
+        }
+        return best;
+    };
+
+    rep.wdOffEventsPerSec = bestEps(c3d::RunOptions{});
+    c3d::RunOptions armed;
+    armed.watchdog.stallEvents = 2000000;
+    rep.wdOnEventsPerSec = bestEps(armed);
+    rep.wdOverheadPct =
+        100.0 * (1.0 - rep.wdOnEventsPerSec / rep.wdOffEventsPerSec);
+
+    // Fault containment, checked live: a two-point sweep with a
+    // panic injected into one row under the skip policy must record
+    // exactly that failure and leave the survivor identical to a
+    // clean run's row.
+    c3d::exp::SweepGrid cgrid;
+    cgrid.workloads = {c3d::profileByName("facesim")};
+    cgrid.designs = {c3d::Design::Baseline, c3d::Design::C3D};
+    cgrid.sockets = {4};
+    cgrid.scale = 256;
+    cgrid.coresPerSocket = 2;
+    cgrid.warmupOps = 300;
+    cgrid.measureOps = 1200;
+
+    c3d::exp::SweepEngine clean_engine(1);
+    const c3d::exp::ResultTable clean = clean_engine.run(cgrid);
+
+    c3d::exp::SweepEngine engine(2);
+    engine.setFailPolicy(c3d::exp::FailPolicy::Skip);
+    engine.setFailureSink([&](const c3d::exp::RowFailure &) {
+        ++rep.containedFaults;
+    });
+    const c3d::exp::ResultTable table =
+        engine.run(cgrid, [](const c3d::exp::RunSpec &s) {
+            c3d::RunOptions o;
+            if (s.index == 1) {
+                o.fault.kind = c3d::FaultKind::Panic;
+                o.fault.at = 0;
+            }
+            return c3d::exp::SweepEngine::simulateSpec(s, o);
+        });
+
+    rep.containmentSurvivorsMatch = rep.containedFaults == 1 &&
+        table.rows().size() == 1 && clean.rows().size() == 2 &&
+        table.rows()[0].sameAs(clean.rows()[0]);
+}
+
+void
 writeJson(std::FILE *f, const Report &rep)
 {
     // Pre-PR reference, for context next to the live replica number:
@@ -431,6 +528,20 @@ writeJson(std::FILE *f, const Report &rep)
                      : 0.0);
     std::fprintf(f, "    \"metrics_match\": %s\n",
                  rep.parKernelMetricsMatch ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"robustness\": {\n");
+    std::fprintf(f, "    \"row\": \"%s\",\n", rep.rowName.c_str());
+    std::fprintf(f, "    \"watchdog_off_events_per_sec\": %.0f,\n",
+                 rep.wdOffEventsPerSec);
+    std::fprintf(f, "    \"watchdog_on_events_per_sec\": %.0f,\n",
+                 rep.wdOnEventsPerSec);
+    std::fprintf(f, "    \"watchdog_overhead_pct\": %.2f,\n",
+                 rep.wdOverheadPct);
+    std::fprintf(f, "    \"watchdog_overhead_guard_pct\": 2.0,\n");
+    std::fprintf(f, "    \"contained_faults\": %llu,\n",
+                 static_cast<unsigned long long>(rep.containedFaults));
+    std::fprintf(f, "    \"survivors_match_clean_run\": %s\n",
+                 rep.containmentSurvivorsMatch ? "true" : "false");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
 }
@@ -460,6 +571,7 @@ main(int argc, char **argv)
     benchTagArray(rep);
     benchEndToEnd(rep);
     benchParallelKernel(rep);
+    benchRobustness(rep);
 
     if (out == "-") {
         writeJson(stdout, rep);
@@ -494,10 +606,35 @@ main(int argc, char **argv)
                  rep.parKernelThreads, rep.hostHwThreads,
                  rep.parKernelMetricsMatch ? "match" : "DIVERGE");
 
+    std::fprintf(stderr,
+                 "robustness: watchdog overhead %.2f%% "
+                 "(%.1fM -> %.1fM events/s); %llu contained "
+                 "fault(s); survivors %s\n",
+                 rep.wdOverheadPct, rep.wdOffEventsPerSec / 1e6,
+                 rep.wdOnEventsPerSec / 1e6,
+                 static_cast<unsigned long long>(rep.containedFaults),
+                 rep.containmentSurvivorsMatch ? "match clean run"
+                                               : "DIVERGE");
+
     if (!rep.parKernelMetricsMatch) {
         std::fprintf(stderr,
                      "bench-report: FAIL: parallel kernel metrics "
                      "diverge from the sequential oracle\n");
+        return 1;
+    }
+    if (!rep.containmentSurvivorsMatch) {
+        std::fprintf(stderr,
+                     "bench-report: FAIL: fault containment check "
+                     "(expected exactly 1 contained fault and a "
+                     "surviving row identical to the clean run)\n");
+        return 1;
+    }
+    if (!rep.quick && rep.wdOverheadPct >= 2.0) {
+        std::fprintf(stderr,
+                     "bench-report: FAIL: watchdog overhead %.2f%% "
+                     ">= 2%% (the watchdog must stay a branch and a "
+                     "counter per event; see docs/robustness.md)\n",
+                     rep.wdOverheadPct);
         return 1;
     }
     if (rep.rowHeapCallbackEvents != 0) {

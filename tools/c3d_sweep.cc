@@ -30,15 +30,20 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/log.hh"
+#include "common/sim_error.hh"
 #include "exp/journal.hh"
 #include "exp/sweep_engine.hh"
+#include "sim/fault_injector.hh"
+#include "sim/watchdog.hh"
 #include "trace/trace_file.hh"
 #include "workload/composition.hh"
 
@@ -96,10 +101,34 @@ const char *const Usage =
     "                         disjoint and together cover the grid)\n"
     "  --journal=FILE         append each completed row to a fresh\n"
     "                         crash-safe JSONL journal (refuses an\n"
-    "                         existing file; SIGINT stops cleanly)\n"
+    "                         existing file; SIGINT/SIGTERM stop\n"
+    "                         cleanly)\n"
     "  --resume=FILE          continue a journaled run: rows already\n"
     "                         in FILE are not re-run; new rows are\n"
-    "                         appended (creates FILE when absent)\n"
+    "                         appended (creates FILE when absent);\n"
+    "                         journaled failures re-run\n"
+    "\n"
+    "robustness (docs/robustness.md):\n"
+    "  --fail-policy=P        abort (default) | skip | retry[:N].\n"
+    "                         abort: a failed grid point stops the\n"
+    "                         sweep. skip: the failure is contained,\n"
+    "                         journaled, and the row is absent from\n"
+    "                         the output (exit 3). retry: re-run the\n"
+    "                         row up to N times (default 1) on the\n"
+    "                         sequential fallback kernel before\n"
+    "                         giving up as skip does\n"
+    "  --watchdog-wall-ms=N   per-row wall-clock budget (0 = off)\n"
+    "  --watchdog-events=N    per-row executed-event budget (0 = off)\n"
+    "  --watchdog-stall=N     per-queue same-tick event limit before\n"
+    "                         a livelock is declared (default\n"
+    "                         2000000; 0 = off)\n"
+    "  --inject-fault=S,S     deterministic fault injection (for\n"
+    "                         testing the containment machinery):\n"
+    "                         S = [par:]panic@TICK | [par:]hang@TICK\n"
+    "                         | [par:]stall-msg@N, with an optional\n"
+    "                         trailing :K/M hitting only grid points\n"
+    "                         with index%M == K; 'par:' arms only\n"
+    "                         when --parallel-kernel drives the run\n"
     "\n"
     "merge subcommand:\n"
     "  c3d-sweep merge [--format=json|csv|table] [--out=FILE] \\\n"
@@ -107,6 +136,15 @@ const char *const Usage =
     "  Combine journals of the same grid (e.g. one per shard) into\n"
     "  the complete result table in grid order; refuses conflicting\n"
     "  duplicates and missing grid points.\n";
+
+/** One --inject-fault spec: a fault plan plus a grid-point
+ *  selector (applies where index % mod == rem; first match wins). */
+struct FaultSel
+{
+    FaultPlan plan;
+    unsigned rem = 0;
+    unsigned mod = 1;
+};
 
 struct SweepCli
 {
@@ -125,6 +163,16 @@ struct SweepCli
     unsigned shardCnt = 1;
     std::string journalFile; //!< --journal (fresh)
     std::string resumeFile;  //!< --resume (continue)
+
+    // Robustness: containment policy, watchdog budgets, injection.
+    // The stall (livelock) detector defaults on -- it is exact,
+    // deterministic, and costs one branch per event; the wall/event
+    // budgets are opt-in because sensible values are row-specific.
+    exp::FailPolicy failPolicy = exp::FailPolicy::Abort;
+    unsigned retryCount = 1;
+    WatchdogLimits watchdog{/*wallMs=*/0, /*maxEvents=*/0,
+                            /*stallEvents=*/2000000};
+    std::vector<FaultSel> faults; //!< --inject-fault
 };
 
 /** Parsed `c3d-sweep merge` command line. */
@@ -387,6 +435,72 @@ parseSweepCli(int argc, char **argv)
             cli.journalFile = value;
         } else if (key == "resume") {
             cli.resumeFile = value;
+        } else if (key == "fail-policy") {
+            std::string pol = value;
+            std::string count;
+            const std::size_t colon = pol.find(':');
+            if (colon != std::string::npos) {
+                count = pol.substr(colon + 1);
+                pol = pol.substr(0, colon);
+            }
+            if (pol == "abort") {
+                cli.failPolicy = exp::FailPolicy::Abort;
+            } else if (pol == "skip") {
+                cli.failPolicy = exp::FailPolicy::Skip;
+            } else if (pol == "retry") {
+                cli.failPolicy = exp::FailPolicy::Retry;
+            } else {
+                cli.error = "unknown fail policy '" + value +
+                    "' (want abort, skip, or retry[:N])";
+                return cli;
+            }
+            if (!count.empty()) {
+                if (pol != "retry" || !parseU64(count, n) || n < 1 ||
+                    n > 16) {
+                    cli.error = "bad fail policy '" + value + "'";
+                    return cli;
+                }
+                cli.retryCount = static_cast<unsigned>(n);
+            }
+        } else if (key == "watchdog-wall-ms") {
+            if (!parseU64(value, cli.watchdog.wallMs)) {
+                cli.error = "bad watchdog-wall-ms";
+                return cli;
+            }
+        } else if (key == "watchdog-events") {
+            if (!parseU64(value, cli.watchdog.maxEvents)) {
+                cli.error = "bad watchdog-events";
+                return cli;
+            }
+        } else if (key == "watchdog-stall") {
+            if (!parseU64(value, cli.watchdog.stallEvents)) {
+                cli.error = "bad watchdog-stall";
+                return cli;
+            }
+        } else if (key == "inject-fault") {
+            for (const std::string &item : splitList(value)) {
+                FaultSel sel;
+                std::string spec = item;
+                // The selector colon comes after the '@' (the 'par:'
+                // prefix owns any earlier colon).
+                const std::size_t at_pos = spec.find('@');
+                const std::size_t sel_pos =
+                    at_pos == std::string::npos
+                        ? std::string::npos
+                        : spec.find(':', at_pos);
+                if (sel_pos != std::string::npos) {
+                    if (!parseShard(spec.substr(sel_pos + 1), sel.rem,
+                                    sel.mod)) {
+                        cli.error = "bad fault selector in '" + item +
+                            "' (want :K/M with K < M)";
+                        return cli;
+                    }
+                    spec = spec.substr(0, sel_pos);
+                }
+                if (!parseFaultSpec(spec, sel.plan, cli.error))
+                    return cli;
+                cli.faults.push_back(sel);
+            }
         } else {
             cli.error = "unknown flag '--" + key + "'";
             return cli;
@@ -547,18 +661,59 @@ runMerge(int argc, char **argv)
     return emitTable(table, cli.format, cli.outFile);
 }
 
-// Written by the SIGINT handler and by worker threads (journal
-// write failure), read by every worker's stop check: must be a
-// lock-free atomic, which is both thread-safe and
-// async-signal-safe.
-std::atomic<int> g_interrupted{0};
+// Written by the SIGINT/SIGTERM handler (the signal number), read
+// by every worker's stop check: must be a lock-free atomic, which
+// is both thread-safe and async-signal-safe. Journal write failures
+// stop the sweep through the separate g_journalStop flag so they
+// cannot masquerade as an interruption (different exit code).
+std::atomic<int> g_signal{0};
+std::atomic<int> g_journalStop{0};
 static_assert(std::atomic<int>::is_always_lock_free,
               "signal handler requires a lock-free flag");
 
 void
-onInterrupt(int)
+onSignal(int sig)
 {
-    g_interrupted.store(1);
+    g_signal.store(sig);
+}
+
+// Last-ditch journal flush when the process dies non-cooperatively:
+// an uncaught exception (std::terminate) or an abort from a
+// non-contained code path. Every append already fsync'd its line,
+// so this is belt-and-braces for bytes buffered mid-append -- the
+// journal reader recovers from a torn tail either way.
+exp::JournalWriter *g_journal = nullptr;
+
+void
+onAbort(int)
+{
+    if (g_journal)
+        g_journal->crashFlush();
+    // abort() restores the default disposition and re-raises after
+    // a handler returns, so the process still dies with SIGABRT.
+}
+
+[[noreturn]] void
+onTerminate()
+{
+    if (const std::exception_ptr e = std::current_exception()) {
+        try {
+            std::rethrow_exception(e);
+        } catch (const std::exception &ex) {
+            std::fprintf(stderr,
+                         "c3d-sweep: terminating on uncaught "
+                         "exception: %s\n",
+                         ex.what());
+        } catch (...) {
+            std::fprintf(stderr,
+                         "c3d-sweep: terminating on uncaught "
+                         "exception\n");
+        }
+    }
+    if (g_journal)
+        g_journal->crashFlush();
+    std::signal(SIGABRT, SIG_DFL);
+    std::abort();
 }
 
 bool
@@ -597,7 +752,11 @@ main(int argc, char **argv)
 
     setQuiet(true);
     exp::SweepEngine engine(cli.jobs);
-    engine.setKernelOptions(cli.kernel);
+    RunOptions baseOpts;
+    baseOpts.kernel = cli.kernel;
+    baseOpts.watchdog = cli.watchdog;
+    engine.setRunOptions(baseOpts);
+    engine.setFailPolicy(cli.failPolicy, cli.retryCount);
     engine.setShard(cli.shardIdx, cli.shardCnt);
     if (cli.progress) {
         engine.setProgress([](const exp::RunSpec &spec,
@@ -674,19 +833,38 @@ main(int argc, char **argv)
             return 1;
         }
         std::unordered_map<std::size_t, exp::ResultRow> pre;
+        std::size_t resumed_failures = 0;
         for (exp::JournalEntry &entry : data.entries) {
             const std::size_t i =
                 static_cast<std::size_t>(entry.index);
+            const std::string key = entry.failed
+                ? entry.failure.identity
+                : entry.row.identityKey();
             if (i >= specs.size() ||
-                entry.row.identityKey() !=
-                    exp::specIdentityKey(specs[i])) {
+                key != exp::specIdentityKey(specs[i])) {
                 std::fprintf(stderr,
-                             "c3d-sweep: journal '%s' row for grid "
+                             "c3d-sweep: journal '%s' %s for grid "
                              "point %zu does not match this grid\n",
-                             cli.resumeFile.c_str(), i);
+                             cli.resumeFile.c_str(),
+                             entry.failed ? "failure record" : "row",
+                             i);
                 return 1;
             }
+            if (entry.failed) {
+                // Failed grid points are not prefilled: the resume
+                // re-runs them (with the fault fixed or the
+                // injection flag dropped, the clean row lands and
+                // supersedes the journaled failure).
+                ++resumed_failures;
+                continue;
+            }
             pre.emplace(i, std::move(entry.row));
+        }
+        if (resumed_failures) {
+            std::fprintf(stderr,
+                         "c3d-sweep: note: re-running %zu grid "
+                         "point(s) the journal recorded as failed\n",
+                         resumed_failures);
         }
         if (data.truncatedTail)
             std::fprintf(stderr,
@@ -736,36 +914,147 @@ main(int argc, char **argv)
     std::size_t journaled_rows = 0;
     std::string journal_error;
     if (writer.isOpen()) {
-        // A journaled sweep is interruptible: SIGINT stops workers
-        // from claiming new grid points, in-flight rows still land
-        // in the journal, and --resume continues later.
-        std::signal(SIGINT, onInterrupt);
-        engine.setStopRequest([] { return g_interrupted != 0; });
+        // A journaled sweep is interruptible: SIGINT and SIGTERM
+        // (the batch scheduler's kill) stop workers from claiming
+        // new grid points, in-flight rows still land in the
+        // journal, and --resume continues later. The terminate and
+        // abort hooks flush the journal before the process dies
+        // non-cooperatively.
+        g_journal = &writer;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGABRT, onAbort);
+        std::set_terminate(onTerminate);
+        engine.setStopRequest([] {
+            return g_signal.load() != 0 || g_journalStop.load() != 0;
+        });
         engine.setRowSink([&](const exp::RunSpec &spec,
                               const exp::ResultRow &row) {
             if (!journal_error.empty())
                 return;
             if (!writer.append(spec.index, row, journal_error))
-                g_interrupted = 1; // stop claiming new specs
+                g_journalStop = 1; // stop claiming new specs
             else
                 ++journaled_rows;
         });
     }
 
-    const exp::ResultTable table = engine.run(cli.grid);
+    // Unrecovered failures, for the manifest (and exit code 3).
+    std::vector<exp::RowFailure> failures;
+    engine.setFailureSink([&](const exp::RowFailure &f) {
+        if (writer.isOpen() && journal_error.empty()) {
+            exp::JournalFailure jf;
+            jf.identity = f.identity;
+            jf.error = f.error;
+            jf.tick = f.tick;
+            jf.tickKnown = f.tickKnown;
+            jf.attempts = f.attempts;
+            if (!writer.appendFailure(f.index, jf, journal_error))
+                g_journalStop = 1;
+        }
+        if (f.recovered) {
+            std::fprintf(stderr,
+                         "c3d-sweep: note: grid point %zu recovered "
+                         "on attempt %u%s\n",
+                         f.index, f.attempts,
+                         f.degraded
+                             ? " (degraded to the sequential kernel)"
+                             : "");
+        } else {
+            failures.push_back(f);
+        }
+    });
+
+    // Every run goes through an explicit run function so each grid
+    // point gets its own fault plan; the retry function degrades to
+    // the sequential MultiQueue-1 oracle with the same plan (so
+    // par:-gated faults vanish and deterministic ones reproduce).
+    const auto planFor = [&cli](std::size_t index) -> FaultPlan {
+        for (const FaultSel &sel : cli.faults) {
+            if (index % sel.mod == sel.rem)
+                return sel.plan;
+        }
+        return FaultPlan{};
+    };
+    const auto runSpec = [&](const exp::RunSpec &spec) {
+        RunOptions o = baseOpts;
+        o.fault = planFor(spec.index);
+        return exp::SweepEngine::simulateSpec(spec, o);
+    };
+    engine.setRetryFn([&](const exp::RunSpec &spec) {
+        RunOptions o = baseOpts;
+        o.kernel = KernelOptions{};
+        o.fault = planFor(spec.index);
+        return exp::SweepEngine::simulateSpec(spec, o);
+    });
+
+    exp::ResultTable table;
+    try {
+        table = engine.run(cli.grid, runSpec);
+    } catch (const std::exception &e) {
+        // FailPolicy::Abort rethrows the first contained failure
+        // after the pool joins; completed rows are already safe in
+        // the journal.
+        std::fprintf(stderr, "c3d-sweep: grid point failed: %s\n",
+                     e.what());
+        if (writer.isOpen()) {
+            std::fprintf(stderr,
+                         "c3d-sweep: rows completed before the "
+                         "failure are checkpointed in '%s'; fix the "
+                         "cause and continue with --resume=%s, or "
+                         "contain failures with --fail-policy=skip\n",
+                         journal_path.c_str(), journal_path.c_str());
+        }
+        return 1;
+    }
 
     if (!journal_error.empty()) {
         std::fprintf(stderr, "c3d-sweep: %s\n",
                      journal_error.c_str());
         return 1;
     }
-    if (g_interrupted) {
+    if (const int sig = g_signal.load()) {
         std::fprintf(stderr,
-                     "c3d-sweep: interrupted; %zu rows checkpointed "
-                     "in '%s'; continue with --resume=%s\n",
+                     "c3d-sweep: stopped by %s; %zu rows "
+                     "checkpointed in '%s'; continue with "
+                     "--resume=%s\n",
+                     sig == SIGTERM ? "SIGTERM" : "SIGINT",
                      resumed_rows + journaled_rows,
                      journal_path.c_str(), journal_path.c_str());
-        return 130;
+        return 128 + sig;
+    }
+    if (!failures.empty()) {
+        // Deterministic manifest: grid order, not completion order.
+        std::sort(failures.begin(), failures.end(),
+                  [](const exp::RowFailure &a,
+                     const exp::RowFailure &b) {
+                      return a.index < b.index;
+                  });
+        std::fprintf(stderr,
+                     "c3d-sweep: %zu of %zu grid points failed "
+                     "(contained):\n",
+                     failures.size(), specs.size());
+        for (const exp::RowFailure &f : failures) {
+            char tick[48] = "";
+            if (f.tickKnown) {
+                std::snprintf(tick, sizeof(tick),
+                              "tick %llu, ",
+                              static_cast<unsigned long long>(
+                                  f.tick));
+            }
+            std::fprintf(stderr, "  [%zu] %s: %s (%s%u attempt%s)\n",
+                         f.index, f.identity.c_str(),
+                         f.error.c_str(), tick, f.attempts,
+                         f.attempts == 1 ? "" : "s");
+        }
+        if (writer.isOpen()) {
+            std::fprintf(stderr,
+                         "c3d-sweep: failures are journaled; re-run "
+                         "them with --resume=%s\n",
+                         journal_path.c_str());
+        }
+        const int rc = emitTable(table, cli.format, cli.outFile);
+        return rc ? rc : 3;
     }
     return emitTable(table, cli.format, cli.outFile);
 }
