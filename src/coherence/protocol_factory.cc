@@ -1,3 +1,17 @@
+/**
+ * @file
+ * Name-keyed protocol registry.
+ *
+ * Dispatch runs through a table rather than a bare switch so an
+ * out-of-range value produces a diagnostic naming the offending
+ * value and the valid set. c3d_panic throws SimError, so a sweep
+ * under --fail-policy=skip/retry contains a bad spec instead of
+ * tearing the whole process down.
+ */
+
+#include <cstdio>
+#include <cstring>
+
 #include "coherence/protocol.hh"
 
 #include "coherence/directory_protocols.hh"
@@ -7,22 +21,54 @@
 namespace c3d
 {
 
+namespace
+{
+
+using ProtocolFactory =
+    std::unique_ptr<GlobalProtocol> (*)(Machine &, StatGroup *);
+
+struct DesignEntry
+{
+    Design design;
+    const char *name;
+    ProtocolFactory make;
+};
+
+const DesignEntry kDesignRegistry[] = {
+    {Design::Baseline, "baseline", makeBaselineProtocol},
+    {Design::Snoopy, "snoopy", makeSnoopyProtocol},
+    {Design::FullDir, "full-dir", makeFullDirProtocol},
+    {Design::C3D, "c3d", makeC3DProtocol},
+    {Design::C3DFullDir, "c3d-full-dir", makeC3DFullDirProtocol},
+};
+
+/** "baseline, snoopy, full-dir, ..." for diagnostics. */
+void
+validDesignSet(char *buf, std::size_t cap)
+{
+    std::size_t off = 0;
+    for (const DesignEntry &e : kDesignRegistry) {
+        const int n = std::snprintf(buf + off, cap - off, "%s%s",
+                                    off ? ", " : "", e.name);
+        if (n < 0 || static_cast<std::size_t>(n) >= cap - off)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
 std::unique_ptr<GlobalProtocol>
 makeProtocol(Design design, Machine &machine, StatGroup *stats)
 {
-    switch (design) {
-      case Design::Baseline:
-        return makeBaselineProtocol(machine, stats);
-      case Design::Snoopy:
-        return makeSnoopyProtocol(machine, stats);
-      case Design::FullDir:
-        return makeFullDirProtocol(machine, stats);
-      case Design::C3D:
-        return makeC3DProtocol(machine, stats);
-      case Design::C3DFullDir:
-        return makeC3DFullDirProtocol(machine, stats);
+    for (const DesignEntry &e : kDesignRegistry) {
+        if (e.design == design)
+            return e.make(machine, stats);
     }
-    c3d_panic("unknown design");
+    char valid[128];
+    validDesignSet(valid, sizeof(valid));
+    c3d_panic("unknown design %d (valid: %s)",
+              static_cast<int>(design), valid);
 }
 
 } // namespace c3d

@@ -3,14 +3,38 @@
 namespace c3d
 {
 
-SnoopyProtocol::SnoopyProtocol(Machine &machine, StatGroup *stats)
-    : ProtocolBase(machine, stats)
+SnoopyProtocol::SnoopyProtocol(Machine &machine, StatGroup *stats,
+                               std::unique_ptr<SnoopVariant> var)
+    : ProtocolBase(machine, stats), variant(std::move(var))
 {
     snoops.init(stats, "proto.snoops", "snoop probes sent");
     snoopHitsDirty.init(stats, "proto.snoop_dirty_hits",
                         "snoops that supplied dirty data");
     snoopMemoryServed.init(stats, "proto.snoop_memory_served",
                            "snoop transactions served by memory");
+    cleanForwards.init(stats, "proto.snoop_clean_forwards",
+                       "clean cache-to-cache forwards (MESIF F "
+                       "state / owner supply)");
+    supplierFallbacks.init(stats, "proto.snoop_supplier_fallbacks",
+                           "designated suppliers that had silently "
+                           "lost the copy (fallback memory read)");
+    updatesSent.init(stats, "proto.snoop_updates",
+                     "update data packets sent to sharers (Dragon)");
+    wbEnqueued.init(stats, "proto.wb_enqueued",
+                    "writes accepted by a store write buffer");
+    wbDrained.init(stats, "proto.wb_drained",
+                   "writes drained from a store write buffer");
+    wbFullStalls.init(stats, "proto.wb_full_stalls",
+                      "store-buffer pushes that found it full");
+
+    homeLines.resize(m.numSockets());
+    writeBuffers.resize(m.numSockets());
+    for (SocketId s = 0; s < m.numSockets(); ++s) {
+        writeBuffers[s].init(&m.queueAt(s), &m.socket(s).memory(),
+                             cfg().storeWriteBufferDepth,
+                             cfg().memLatency, &wbEnqueued,
+                             &wbDrained, &wbFullStalls);
+    }
 }
 
 namespace
@@ -21,7 +45,7 @@ struct SnoopJoin
 {
     std::size_t pendingProbes = 0;
     bool memPending = false;
-    bool dirtyDataArrived = false;
+    bool dataArrived = false;
     bool completed = false;
     std::function<void()> done;
 
@@ -30,10 +54,10 @@ struct SnoopJoin
     {
         if (completed)
             return;
-        // Complete as soon as dirty data arrives (the owner supplied
-        // the block), or when every ack and the memory data are in.
-        if (dirtyDataArrived ||
-            (pendingProbes == 0 && !memPending)) {
+        // Complete as soon as supplied data arrives (a dirty owner
+        // or clean forwarder sent the block), or when every ack and
+        // the memory data are in.
+        if (dataArrived || (pendingProbes == 0 && !memPending)) {
             completed = true;
             done();
         }
@@ -42,42 +66,63 @@ struct SnoopJoin
 
 } // namespace
 
+HomeLineState &
+SnoopyProtocol::lineAt(SocketId home, Addr addr)
+{
+    return homeLines[home][blockAlign(addr)];
+}
+
 void
-SnoopyProtocol::broadcastTransaction(SocketId req, Addr addr,
-                                     bool is_write,
-                                     bool with_memory_read,
-                                     std::function<void()> done)
+SnoopyProtocol::memWrite(SocketId home, Addr addr, bool remote)
+{
+    writeBuffers[home].push(addr, remote);
+}
+
+void
+SnoopyProtocol::requestTransaction(SocketId req, Addr addr,
+                                   bool is_write,
+                                   bool has_shared_copy,
+                                   std::function<void()> done)
 {
     // The home socket is the ordering point (home-snoop flavour, as
     // in QPI): same-block transactions serialize there, which keeps
-    // concurrent GetX from creating two owners.
+    // concurrent GetX from creating two owners. The variant's plan
+    // is computed under the block lock, on the home's queue -- the
+    // only place the per-line home state may be read.
     const SocketId home = m.homeOf(addr, req);
     sendCtrl(req, home, [this, req, home, addr, is_write,
-                         with_memory_read,
+                         has_shared_copy,
                          done = std::move(done)]() mutable {
         homeLocks[home].acquire(
-            addr, [this, req, home, addr, is_write, with_memory_read,
+            addr, [this, req, home, addr, is_write, has_shared_copy,
                    done = std::move(done)]() mutable {
+                const SnoopPlan plan = variant->plan(
+                    lineAt(home, addr), req, is_write,
+                    has_shared_copy);
                 // The join completes at the requester (every ack and
                 // data packet lands there), so the completion wrapper
-                // runs req-side. The home lock, however, is home
-                // state: releasing it from the requester both races
-                // under the parallel kernel and lets a later
-                // transaction's probes depart the ordering point
-                // before this transaction's fill has landed. Send an
-                // explicit completion notice back to the home and
-                // release on its arrival — the one extra control
-                // packet is the price of a real ordering point.
-                runBroadcast(req, home, addr, is_write,
-                             with_memory_read,
-                             [this, req, home, addr,
-                              done = std::move(done)] {
+                // runs req-side. The home lock and line state are
+                // home state: releasing or committing from the
+                // requester both races under the parallel kernel and
+                // lets a later transaction's probes depart the
+                // ordering point before this transaction's fill has
+                // landed. Send an explicit completion notice back to
+                // the home and commit+release on its arrival — the
+                // one extra control packet is the price of a real
+                // ordering point.
+                const bool update = plan.updateCopies;
+                runBroadcast(req, home, addr, plan,
+                             [this, req, home, addr, is_write,
+                              update, done = std::move(done)] {
                     done();
                     if (req == home) {
-                        homeLocks[home].release(addr);
+                        commitAndRelease(home, req, addr, is_write,
+                                         update);
                     } else {
-                        sendCtrl(req, home, [this, home, addr] {
-                            homeLocks[home].release(addr);
+                        sendCtrl(req, home, [this, req, home, addr,
+                                             is_write, update] {
+                            commitAndRelease(home, req, addr,
+                                             is_write, update);
                         });
                     }
                 });
@@ -86,8 +131,30 @@ SnoopyProtocol::broadcastTransaction(SocketId req, Addr addr,
 }
 
 void
+SnoopyProtocol::commitAndRelease(SocketId home, SocketId req,
+                                 Addr addr, bool is_write,
+                                 bool update_copies)
+{
+    HomeLineState &line = lineAt(home, addr);
+    if (update_copies) {
+        // Dragon: the ordering point redistributes the new data to
+        // every believed copy; they stay valid (update, not
+        // invalidate). Pure timing traffic at the receiving socket.
+        const std::uint32_t stale = line.copies & ~(1u << req);
+        for (SocketId t = 0; t < m.numSockets(); ++t) {
+            if (stale & (1u << t)) {
+                ++updatesSent;
+                sendData(home, t, [] {});
+            }
+        }
+    }
+    variant->complete(line, req, is_write);
+    homeLocks[home].release(addr);
+}
+
+void
 SnoopyProtocol::runBroadcast(SocketId req, SocketId home, Addr addr,
-                             bool is_write, bool with_memory_read,
+                             const SnoopPlan &plan,
                              std::function<void()> done)
 {
     auto join = std::make_shared<SnoopJoin>();
@@ -95,11 +162,11 @@ SnoopyProtocol::runBroadcast(SocketId req, SocketId home, Addr addr,
 
     const std::vector<SocketId> targets = othersThan(req);
     join->pendingProbes = targets.size();
-    join->memPending = with_memory_read;
+    join->memPending = plan.withMemoryRead;
 
     // Parallel memory access at the home socket (§V-A: "we access
     // the memory in parallel with probing remote caches").
-    if (with_memory_read) {
+    if (plan.withMemoryRead) {
         m.socket(home).memory().read(addr, req != home,
                                      [this, req, home, join] {
             sendData(home, req, [join] {
@@ -109,27 +176,64 @@ SnoopyProtocol::runBroadcast(SocketId req, SocketId home, Addr addr,
         });
     }
 
+    const bool probe_invalidate = plan.invalidateOthers;
+    const bool retain = plan.supplierRetainsDirty;
+    const bool reflective = plan.reflectiveWrite;
     for (SocketId t : targets) {
         ++snoops;
+        const bool is_supplier =
+            plan.supplier == static_cast<std::int32_t>(t);
         // Probes fan out from the ordering point; the home "probing
         // itself" is a local action (no interconnect traffic).
-        sendCtrl(home, t, [this, req, t, addr, is_write, join] {
-            m.socket(t).snoopProbe(addr, is_write,
-                                   [this, req, t, addr, join]
+        sendCtrl(home, t, [this, req, home, t, addr, probe_invalidate,
+                           retain, reflective, is_supplier, join] {
+            m.socket(t).snoopProbe(addr, probe_invalidate,
+                                   [this, req, home, t, addr,
+                                    reflective, is_supplier, join]
                                    (SnoopResult res) {
                 if (res.suppliedDirty) {
                     ++snoopHitsDirty;
                     ++dirtyFwds;
-                    // Dirty data goes straight to the requester;
-                    // memory is refreshed reflectively.
-                    const SocketId hm = m.homeOf(addr, req);
-                    sendData(t, hm, [this, hm, addr] {
-                        m.socket(hm).memory().write(addr, false);
-                    });
+                    if (reflective) {
+                        // Dirty data goes straight to the requester;
+                        // memory is refreshed reflectively.
+                        const SocketId hm = m.homeOf(addr, req);
+                        sendData(t, hm, [this, hm, addr] {
+                            memWrite(hm, addr, false);
+                        });
+                    }
                     sendData(t, req, [join] {
                         --join->pendingProbes;
-                        join->dirtyDataArrived = true;
+                        join->dataArrived = true;
                         join->tryComplete();
+                    });
+                } else if (is_supplier && res.present) {
+                    // MESIF-style clean forward: the designated
+                    // supplier still holds the block and sends it in
+                    // memory's stead.
+                    ++cleanForwards;
+                    sendData(t, req, [join] {
+                        --join->pendingProbes;
+                        join->dataArrived = true;
+                        join->tryComplete();
+                    });
+                } else if (is_supplier) {
+                    // The believed supplier silently lost its copy:
+                    // recover with a fallback memory read at the
+                    // home. Deterministic — the stale home state
+                    // costs latency, never correctness.
+                    ++supplierFallbacks;
+                    sendCtrl(t, home, [this, req, home, addr, join] {
+                        ++snoopMemoryServed;
+                        m.socket(home).memory().read(
+                            addr, req != home,
+                            [this, req, home, join] {
+                            sendData(home, req, [join] {
+                                --join->pendingProbes;
+                                join->dataArrived = true;
+                                join->tryComplete();
+                            });
+                        });
                     });
                 } else {
                     sendCtrl(t, req, [join] {
@@ -137,11 +241,11 @@ SnoopyProtocol::runBroadcast(SocketId req, SocketId home, Addr addr,
                         join->tryComplete();
                     });
                 }
-            });
+            }, retain);
         });
     }
 
-    if (targets.empty() && !with_memory_read) {
+    if (targets.empty() && !plan.withMemoryRead) {
         // Single-socket machines only (othersThan(req) is never
         // empty otherwise), so this stays on the sequential kernel;
         // still pin to the home queue for uniformity.
@@ -152,8 +256,8 @@ SnoopyProtocol::runBroadcast(SocketId req, SocketId home, Addr addr,
 void
 SnoopyProtocol::getS(SocketId req, Addr addr, ReadDone done)
 {
-    broadcastTransaction(req, addr, /*is_write=*/false,
-                         /*with_memory_read=*/true, std::move(done));
+    requestTransaction(req, addr, /*is_write=*/false,
+                       /*has_shared_copy=*/false, std::move(done));
 }
 
 void
@@ -161,10 +265,9 @@ SnoopyProtocol::getX(SocketId req, Addr addr, bool has_shared_copy,
                      bool /*private_page*/, WriteDone done)
 {
     // An upgrade needs no data: invalidation acks suffice. A full
-    // GetX reads memory in parallel with the invalidating probes.
-    broadcastTransaction(req, addr, /*is_write=*/true,
-                         /*with_memory_read=*/!has_shared_copy,
-                         std::move(done));
+    // GetX reads memory in parallel with the (in)validating probes.
+    requestTransaction(req, addr, /*is_write=*/true, has_shared_copy,
+                       std::move(done));
 }
 
 void
@@ -172,10 +275,13 @@ SnoopyProtocol::putX(SocketId req, Addr addr)
 {
     // Only the baseline/clean designs emit PutX; snoopy sinks dirty
     // LLC victims into the DRAM cache. Reaching here means the
-    // machine was configured without a DRAM cache: write to memory.
+    // machine was configured without a DRAM cache: write to memory
+    // (through the home's store buffer) and retire the line from the
+    // home's books.
     const SocketId home = m.homeOf(addr, req);
     sendData(req, home, [this, req, home, addr] {
-        m.socket(home).memory().write(addr, req != home);
+        variant->evicted(lineAt(home, addr), req);
+        memWrite(home, addr, req != home);
     });
 }
 
@@ -183,17 +289,19 @@ void
 SnoopyProtocol::dramCacheEvicted(SocketId req, Addr addr, bool dirty)
 {
     if (!dirty)
-        return; // silent clean eviction
+        return; // silent clean eviction (home state goes stale)
     const SocketId home = m.homeOf(addr, req);
     sendData(req, home, [this, req, home, addr] {
-        m.socket(home).memory().write(addr, req != home);
+        variant->evicted(lineAt(home, addr), req);
+        memWrite(home, addr, req != home);
     });
 }
 
 std::unique_ptr<GlobalProtocol>
 makeSnoopyProtocol(Machine &m, StatGroup *stats)
 {
-    return std::make_unique<SnoopyProtocol>(m, stats);
+    return std::make_unique<SnoopyProtocol>(
+        m, stats, makeSnoopVariant(m.config().protocol));
 }
 
 } // namespace c3d

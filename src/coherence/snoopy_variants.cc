@@ -1,0 +1,213 @@
+#include "coherence/snoopy_variants.hh"
+
+#include "common/log.hh"
+
+namespace c3d
+{
+
+namespace
+{
+
+/**
+ * MESI: the plan ignores the home state entirely -- memory is read
+ * in parallel with every data-carrying broadcast and a dirty find is
+ * forwarded with a reflective memory write. This is exactly the
+ * pre-matrix snoopy protocol, so `--protocol=mesi` rows are byte
+ * identical to the seed's. The state commits are bookkeeping only.
+ */
+class MesiVariant : public SnoopVariant
+{
+  public:
+    Protocol protocol() const override { return Protocol::Mesi; }
+
+    SnoopPlan
+    plan(const HomeLineState &, SocketId, bool is_write,
+         bool has_shared_copy) const override
+    {
+        SnoopPlan p;
+        p.withMemoryRead = is_write ? !has_shared_copy : true;
+        p.invalidateOthers = is_write;
+        return p;
+    }
+
+    void
+    complete(HomeLineState &line, SocketId req,
+             bool is_write) const override
+    {
+        if (is_write) {
+            line.copies = 1u << req;
+            line.owner = -1;
+            line.forwarder = -1;
+        } else {
+            line.add(req);
+        }
+    }
+};
+
+/**
+ * MESIF: one believed sharer is the forwarder; a read it can serve
+ * skips the memory access and takes a clean cache-to-cache forward
+ * instead. The most recent reader inherits F. Writes behave as MESI.
+ */
+class MesifVariant : public SnoopVariant
+{
+  public:
+    Protocol protocol() const override { return Protocol::Mesif; }
+
+    SnoopPlan
+    plan(const HomeLineState &line, SocketId req, bool is_write,
+         bool has_shared_copy) const override
+    {
+        SnoopPlan p;
+        p.invalidateOthers = is_write;
+        if (is_write) {
+            p.withMemoryRead = !has_shared_copy;
+            return p;
+        }
+        const std::int32_t r = static_cast<std::int32_t>(req);
+        if (line.forwarder >= 0 && line.forwarder != r) {
+            p.supplier = line.forwarder;
+            p.withMemoryRead = false;
+        } else if (line.owner >= 0 && line.owner != r) {
+            // A dirty owner supplies through the normal dirty path.
+            p.withMemoryRead = false;
+            p.supplier = line.owner;
+        } else {
+            p.withMemoryRead = true;
+        }
+        return p;
+    }
+
+    void
+    complete(HomeLineState &line, SocketId req,
+             bool is_write) const override
+    {
+        if (is_write) {
+            line.copies = 1u << req;
+            line.owner = -1;
+        } else {
+            line.add(req);
+            if (line.owner >= 0)
+                line.owner = -1; // dirty supply cleaned the owner
+        }
+        line.forwarder = static_cast<std::int32_t>(req);
+    }
+};
+
+/**
+ * MOESI: a dirty owner supplies readers and *keeps* its dirty copy
+ * (owned state); no reflective memory write, memory goes stale until
+ * the owner's dirty copy is finally evicted. An owner-less read is
+ * served by memory as in MESI.
+ */
+class MoesiVariant : public SnoopVariant
+{
+  public:
+    Protocol protocol() const override { return Protocol::Moesi; }
+
+    SnoopPlan
+    plan(const HomeLineState &line, SocketId req, bool is_write,
+         bool has_shared_copy) const override
+    {
+        SnoopPlan p;
+        p.invalidateOthers = is_write;
+        p.reflectiveWrite = false;
+        p.supplierRetainsDirty = !is_write;
+        const std::int32_t r = static_cast<std::int32_t>(req);
+        if (is_write) {
+            p.withMemoryRead = !has_shared_copy;
+        } else if (line.owner >= 0 && line.owner != r) {
+            p.supplier = line.owner;
+            p.withMemoryRead = false;
+        } else {
+            p.withMemoryRead = true;
+        }
+        return p;
+    }
+
+    void
+    complete(HomeLineState &line, SocketId req,
+             bool is_write) const override
+    {
+        if (is_write) {
+            line.copies = 1u << req;
+            line.owner = static_cast<std::int32_t>(req);
+            line.forwarder = -1;
+        } else {
+            line.add(req);
+            // The owner (if any) retained its dirty copy: ownership
+            // is unchanged by a read.
+        }
+    }
+};
+
+/**
+ * Dragon: update-based. Writes never invalidate -- every believed
+ * copy receives an update data packet and stays valid, and the
+ * writer becomes the owner. Reads are served by the owner when one
+ * exists (which keeps its dirty data), else by memory.
+ */
+class DragonVariant : public SnoopVariant
+{
+  public:
+    Protocol protocol() const override { return Protocol::Dragon; }
+
+    SnoopPlan
+    plan(const HomeLineState &line, SocketId req, bool is_write,
+         bool has_shared_copy) const override
+    {
+        SnoopPlan p;
+        p.reflectiveWrite = false;
+        p.supplierRetainsDirty = true;
+        const std::int32_t r = static_cast<std::int32_t>(req);
+        if (is_write) {
+            p.invalidateOthers = false;
+            p.updateCopies = true;
+            if (line.owner >= 0 && line.owner != r) {
+                p.supplier = line.owner;
+                p.withMemoryRead = false;
+            } else {
+                p.withMemoryRead = !has_shared_copy;
+            }
+        } else if (line.owner >= 0 && line.owner != r) {
+            p.supplier = line.owner;
+            p.withMemoryRead = false;
+        } else {
+            p.withMemoryRead = true;
+        }
+        return p;
+    }
+
+    void
+    complete(HomeLineState &line, SocketId req,
+             bool is_write) const override
+    {
+        line.add(req);
+        if (is_write) {
+            // Updates kept every copy valid; the writer owns the
+            // newest version.
+            line.owner = static_cast<std::int32_t>(req);
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<SnoopVariant>
+makeSnoopVariant(Protocol p)
+{
+    switch (p) {
+      case Protocol::Mesi:
+        return std::make_unique<MesiVariant>();
+      case Protocol::Mesif:
+        return std::make_unique<MesifVariant>();
+      case Protocol::Moesi:
+        return std::make_unique<MoesiVariant>();
+      case Protocol::Dragon:
+        return std::make_unique<DragonVariant>();
+    }
+    c3d_panic("unknown protocol %d (valid: mesi, mesif, moesi, "
+              "dragon)", static_cast<int>(p));
+}
+
+} // namespace c3d

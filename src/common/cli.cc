@@ -59,6 +59,19 @@ parseMapping(const std::string &s, MappingPolicy &out)
     return false;
 }
 
+bool
+parseProtocol(const std::string &s, Protocol &out)
+{
+    for (Protocol p : {Protocol::Mesi, Protocol::Mesif, Protocol::Moesi,
+                       Protocol::Dragon}) {
+        if (s == protocolName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<std::string>
 splitList(const std::string &s)
 {
@@ -89,6 +102,10 @@ cliUsage()
         "  --scale=N              shrink capacities & workload by N "
         "(default 32)\n"
         "  --mapping=P            INT|FT1|FT2 (default FT2)\n"
+        "  --protocol=NAME        mesi|mesif|moesi|dragon snoopy "
+        "variant (default mesi)\n"
+        "  --store-buffer=N       snoopy store write buffer depth "
+        "(default 0 = off)\n"
         "  --workload=NAME        paper profile name (default "
         "facesim)\n"
         "  --warmup=N --measure=N references per core\n"
@@ -126,6 +143,17 @@ parseCli(const std::vector<std::string> &args)
                 opt.error = "unknown mapping '" + value + "'";
                 return opt;
             }
+        } else if (key == "protocol") {
+            if (!parseProtocol(value, raw.protocol)) {
+                opt.error = "unknown protocol '" + value + "'";
+                return opt;
+            }
+        } else if (key == "store-buffer") {
+            if (!parseU64(value, n) || n > 4096) {
+                opt.error = "bad store-buffer depth";
+                return opt;
+            }
+            raw.storeWriteBufferDepth = static_cast<std::uint32_t>(n);
         } else if (key == "sockets") {
             if (!parseU64(value, n) || n < 1 || n > 8) {
                 opt.error = "bad socket count";

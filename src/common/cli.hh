@@ -9,6 +9,7 @@
  *   --sockets=N --cores-per-socket=N
  *   --scale=N                 (capacities /N; pair with workload scale)
  *   --mapping=INT|FT1|FT2
+ *   --protocol=mesi|mesif|moesi|dragon --store-buffer=N
  *   --workload=<profile name> --warmup=N --measure=N
  *   --dram-cache-ns=N --hop-ns=N --mem-ns=N
  *   --no-dram-cache --tlb-classification
@@ -66,6 +67,9 @@ bool parseDesign(const std::string &s, Design &out);
 
 /** Map a mapping-policy name back to the enum. */
 bool parseMapping(const std::string &s, MappingPolicy &out);
+
+/** Map a protocol name (protocolName() spelling) back to the enum. */
+bool parseProtocol(const std::string &s, Protocol &out);
 
 /** Convenience overload for main(argc, argv). */
 CliOptions parseCli(int argc, char **argv);

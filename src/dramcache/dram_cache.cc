@@ -39,6 +39,58 @@ DramCache::DramCache(EventQueue &eq, const SystemConfig &cfg,
                         "clean blocks displaced");
     evictionsDirty.init(stats, prefix + ".evictions_dirty",
                         "dirty blocks displaced (writeback needed)");
+
+    statsGroup = stats;
+    statPrefix = prefix;
+}
+
+void
+DramCache::enableTenantTracking(std::uint32_t tenants)
+{
+    c3d_assert(tenantBlocks.empty(), "tenant tracking enabled twice");
+    tenantBlocks.assign(tenants, 0);
+    tenantHits = std::vector<Counter>(tenants);
+    tenantMisses = std::vector<Counter>(tenants);
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+        const std::string tp =
+            statPrefix + ".tenant" + std::to_string(t);
+        tenantHits[t].init(statsGroup, tp + ".hits",
+                           "tenant probes that found the block");
+        tenantMisses[t].init(statsGroup, tp + ".misses",
+                             "tenant probes that missed");
+    }
+}
+
+void
+DramCache::countTenant(std::uint32_t tenant, bool hit)
+{
+    if (tenant == NoTenant || tenantBlocks.empty())
+        return;
+    if (hit)
+        ++tenantHits[tenant];
+    else
+        ++tenantMisses[tenant];
+}
+
+void
+DramCache::setOwner(TagEntry *e, std::uint32_t tenant)
+{
+    if (tenant == NoTenant || tenantBlocks.empty())
+        return;
+    const std::uint64_t tag = static_cast<std::uint64_t>(tenant) + 1;
+    if (e->aux == tag)
+        return;
+    dropOwnerAux(e->aux);
+    e->aux = tag;
+    ++tenantBlocks[tenant];
+}
+
+void
+DramCache::dropOwnerAux(std::uint64_t aux)
+{
+    if (!aux || tenantBlocks.empty())
+        return;
+    --tenantBlocks[static_cast<std::size_t>(aux - 1)];
 }
 
 Tick
@@ -63,7 +115,7 @@ DramCache::predictPresent(Addr addr)
 
 void
 DramCache::probe(Addr addr, std::function<void(DramCacheProbe)> done,
-                 bool always_access)
+                 bool always_access, std::uint32_t tenant)
 {
     const Tick now = eventq.now();
 
@@ -72,6 +124,7 @@ DramCache::probe(Addr addr, std::function<void(DramCacheProbe)> done,
         // counting filter never reports absent for a present block,
         // so this path cannot hide data.
         ++misses;
+        countTenant(tenant, false);
         DramCacheProbe res;
         res.readyAt = now + predictorLatency;
         eventq.scheduleAt(res.readyAt, [done, res] { done(res); });
@@ -86,11 +139,14 @@ DramCache::probe(Addr addr, std::function<void(DramCacheProbe)> done,
     TagEntry *e = tags.find(addr);
     if (e) {
         ++hits;
+        countTenant(tenant, true);
+        setOwner(e, tenant);
         tags.touch(e);
         res.present = true;
         res.dirty = e->state == CacheState::Modified;
     } else {
         ++misses;
+        countTenant(tenant, false);
         if (predictorEnabled && !exactPredictor)
             predictor.recordFalsePresent();
     }
@@ -99,7 +155,7 @@ DramCache::probe(Addr addr, std::function<void(DramCacheProbe)> done,
 }
 
 DramCacheVictim
-DramCache::insert(Addr addr, bool dirty)
+DramCache::insert(Addr addr, bool dirty, std::uint32_t tenant)
 {
     c3d_assert(!dirty || allowDirty,
                "dirty insert into a clean DRAM cache");
@@ -123,9 +179,13 @@ DramCache::insert(Addr addr, bool dirty)
         else
             ++evictionsClean;
         predictor.onRemove(victim.addr);
+        dropOwnerAux(ar.victimAux);
     }
     if (!was_present)
         predictor.onInsert(addr);
+    // After allocate: a fresh slot starts unowned (aux zeroed), a
+    // reused slot keeps its owner unless the insert names one.
+    setOwner(ar.entry, tenant);
     return victim;
 }
 
@@ -148,6 +208,7 @@ DramCache::invalidate(Addr addr, std::function<void(bool, bool)> done)
     if (const TagEntry *e = tags.find(addr)) {
         present = true;
         dirty = e->state == CacheState::Modified;
+        dropOwnerAux(e->aux);
         tags.invalidate(addr);
         predictor.onRemove(addr);
         ++invalidations;
@@ -162,7 +223,7 @@ DramCache::invalidate(Addr addr, std::function<void(bool, bool)> done)
 }
 
 DramCacheVictim
-DramCache::updateClean(Addr addr)
+DramCache::updateClean(Addr addr, std::uint32_t tenant)
 {
     DramCacheVictim victim;
     chargeChannel(addr, eventq.now() + accessLatency);
@@ -170,6 +231,7 @@ DramCache::updateClean(Addr addr)
     if (TagEntry *e = tags.find(addr)) {
         ++writeUpdates;
         e->state = CacheState::Shared;
+        setOwner(e, tenant);
         tags.touch(e);
         return victim;
     }
@@ -185,8 +247,10 @@ DramCache::updateClean(Addr addr)
         else
             ++evictionsClean;
         predictor.onRemove(victim.addr);
+        dropOwnerAux(ar.victimAux);
     }
     predictor.onInsert(addr);
+    setOwner(ar.entry, tenant);
     return victim;
 }
 

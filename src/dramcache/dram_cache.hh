@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "cache/tag_array.hh"
 #include "common/config.hh"
@@ -53,8 +54,20 @@ struct DramCacheVictim
 class DramCache
 {
   public:
+    /** Requester tag for accesses with no tenant attribution. */
+    static constexpr std::uint32_t NoTenant = 0xFFFFFFFFu;
+
     DramCache(EventQueue &eq, const SystemConfig &cfg, SocketId socket,
               StatGroup *stats);
+
+    /**
+     * Turn on per-tenant attribution (composed workloads). Registers
+     * per-tenant hit/miss counters with the stat group (so the
+     * warm-up reset covers them) and starts exact per-tenant block
+     * occupancy bookkeeping. Runs without tenants never call this,
+     * so plain rows stay byte-identical.
+     */
+    void enableTenantTracking(std::uint32_t tenants);
 
     /**
      * Probe for the block at @p addr (read path or snoop).
@@ -64,18 +77,26 @@ class DramCache
      * @param always_access bypass the predictor short-circuit and pay
      *        the full DRAM access even for absent blocks (remote
      *        snoop probes, §III-A: the DRAM cache must be searched).
+     * @param tenant requester's tenant index (NoTenant: untracked).
+     *        Counted against the tenant's hit/miss counters exactly
+     *        where the cache's own hit/miss counters tick, and a hit
+     *        transfers block ownership to the tenant.
      */
     void probe(Addr addr, std::function<void(DramCacheProbe)> done,
-               bool always_access = false);
+               bool always_access = false,
+               std::uint32_t tenant = NoTenant);
 
     /**
      * Insert the block at @p addr (an LLC victim).
      * If the block is already present its state is updated in place.
      * The write occupies a DRAM channel but completes asynchronously
      * (off the critical path).
+     * @param tenant owning tenant of the inserted block (NoTenant:
+     *        unowned until a tracked probe hits it).
      * @return the displaced victim, if any.
      */
-    DramCacheVictim insert(Addr addr, bool dirty);
+    DramCacheVictim insert(Addr addr, bool dirty,
+                           std::uint32_t tenant = NoTenant);
 
     /**
      * Invalidate @p addr if present. @p done receives
@@ -90,7 +111,8 @@ class DramCache
      * write-through path). Inserts if absent. Off the critical path.
      * @return the displaced victim, if any.
      */
-    DramCacheVictim updateClean(Addr addr);
+    DramCacheVictim updateClean(Addr addr,
+                                std::uint32_t tenant = NoTenant);
 
     /** Structural presence check with no timing (tests/inspection). */
     bool contains(Addr addr) const { return tags.find(addr) != nullptr; }
@@ -107,12 +129,43 @@ class DramCache
     std::uint64_t hitCount() const { return hits.value(); }
     std::uint64_t missCount() const { return misses.value(); }
 
+    // ---- per-tenant attribution (enableTenantTracking) -----------------
+    bool tenantTrackingEnabled() const { return !tenantBlocks.empty(); }
+    /** Blocks currently owned by tenant @p t (live gauge; unlike the
+     * hit/miss counters it is NOT reset at the warm-up boundary). */
+    std::uint64_t tenantOccupancy(std::uint32_t t) const
+    {
+        return tenantBlocks[t];
+    }
+    std::uint64_t tenantHitCount(std::uint32_t t) const
+    {
+        return tenantHits[t].value();
+    }
+    std::uint64_t tenantMissCount(std::uint32_t t) const
+    {
+        return tenantMisses[t].value();
+    }
+
   private:
     /** Serialize an access burst on the channel for @p addr. */
     Tick chargeChannel(Addr addr, Tick start);
 
     /** Presence prediction (exact MissMap or counting filter). */
     bool predictPresent(Addr addr);
+
+    /** Tick tenant @p t's hit or miss counter (NoTenant: no-op). */
+    void countTenant(std::uint32_t tenant, bool hit);
+
+    /**
+     * Transfer ownership of @p e to @p tenant. The owner lives in
+     * TagEntry::aux as tenant+1 (0 = unowned; the LLC uses aux for
+     * its sharer vector, the DRAM cache for this tag), so eviction
+     * paths recover the displaced owner from AllocResult::victimAux.
+     */
+    void setOwner(TagEntry *e, std::uint32_t tenant);
+
+    /** A block with owner tag @p aux left the cache. */
+    void dropOwnerAux(std::uint64_t aux);
 
     EventQueue &eventq;
     TagArray tags;
@@ -134,6 +187,17 @@ class DramCache
     Counter invalidations;
     Counter evictionsClean;
     Counter evictionsDirty;
+
+    /** For post-construction tenant counter registration. */
+    StatGroup *statsGroup = nullptr;
+    std::string statPrefix;
+
+    // Per-tenant attribution; all empty unless enabled. The counter
+    // vectors are sized once at enable time (the StatGroup keeps raw
+    // pointers into them) and must never reallocate.
+    std::vector<Counter> tenantHits;
+    std::vector<Counter> tenantMisses;
+    std::vector<std::uint64_t> tenantBlocks;
 };
 
 } // namespace c3d

@@ -112,7 +112,7 @@ parseEntryLine(const std::string &line, JournalEntry &out,
 const char *
 journalSchemaName()
 {
-    return "c3d-sweep-journal/v1";
+    return "c3d-sweep-journal/v2";
 }
 
 std::string

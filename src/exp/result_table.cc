@@ -15,7 +15,7 @@ namespace
 
 /** Serialized columns, in order. Keep in sync with docs/sweeps.md. */
 const char *const StringCols[] = {"workload", "variant", "design",
-                                  "mapping"};
+                                  "protocol", "mapping"};
 const char *const IntCols[] = {
     "sockets",          "cores_per_socket",  "scale",
     "dram_cache_mb",    "warmup_ops",        "measure_ops",
@@ -29,7 +29,7 @@ std::string *
 stringField(ResultRow &r, std::size_t i)
 {
     std::string *fields[] = {&r.workload, &r.variant, &r.design,
-                             &r.mapping};
+                             &r.protocol, &r.mapping};
     return fields[i];
 }
 
@@ -137,6 +137,7 @@ tenantToJson(const TenantMetrics &tm, Tick measured_ticks)
         {"stores", tm.stores},
         {"dram_cache_hits", tm.dramCacheHits},
         {"dram_cache_misses", tm.dramCacheMisses},
+        {"dram_cache_occupancy", tm.dramCacheOccupancy},
         {"lat_p50", tm.latP50},
         {"lat_p95", tm.latP95},
         {"lat_p99", tm.latP99}};
@@ -186,6 +187,7 @@ tenantFromJson(const JsonValue &tv, TenantMetrics &out,
         {"stores", &tm.stores},
         {"dram_cache_hits", &tm.dramCacheHits},
         {"dram_cache_misses", &tm.dramCacheMisses},
+        {"dram_cache_occupancy", &tm.dramCacheOccupancy},
         {"lat_p50", &tm.latP50},
         {"lat_p95", &tm.latP95},
         {"lat_p99", &tm.latP99}};
@@ -239,6 +241,7 @@ sameTenants(const std::vector<TenantMetrics> &a,
             x.loads != y.loads || x.stores != y.stores ||
             x.dramCacheHits != y.dramCacheHits ||
             x.dramCacheMisses != y.dramCacheMisses ||
+            x.dramCacheOccupancy != y.dramCacheOccupancy ||
             x.latP50 != y.latP50 || x.latP95 != y.latP95 ||
             x.latP99 != y.latP99)
             return false;
@@ -345,11 +348,11 @@ ResultRow::sameAs(const ResultRow &o) const
 
 std::string
 identityKeyOf(const std::string &workload, const std::string &variant,
-              const std::string &design, const std::string &mapping,
-              std::uint32_t sockets, std::uint32_t cores_per_socket,
-              std::uint32_t scale, std::uint64_t dram_cache_mb,
-              std::uint64_t warmup_ops, std::uint64_t measure_ops,
-              std::uint64_t seed)
+              const std::string &design, const std::string &protocol,
+              const std::string &mapping, std::uint32_t sockets,
+              std::uint32_t cores_per_socket, std::uint32_t scale,
+              std::uint64_t dram_cache_mb, std::uint64_t warmup_ops,
+              std::uint64_t measure_ops, std::uint64_t seed)
 {
     char nums[192];
     std::snprintf(nums, sizeof(nums),
@@ -357,15 +360,15 @@ identityKeyOf(const std::string &workload, const std::string &variant,
                   "|%" PRIu64 "|%" PRIu64 "|%" PRIu64,
                   sockets, cores_per_socket, scale, dram_cache_mb,
                   warmup_ops, measure_ops, seed);
-    return workload + '|' + variant + '|' + design + '|' + mapping +
-        nums;
+    return workload + '|' + variant + '|' + design + '|' + protocol +
+        '|' + mapping + nums;
 }
 
 std::string
 ResultRow::identityKey() const
 {
-    return identityKeyOf(workload, variant, design, mapping, sockets,
-                         coresPerSocket, scale, dramCacheMb,
+    return identityKeyOf(workload, variant, design, protocol, mapping,
+                         sockets, coresPerSocket, scale, dramCacheMb,
                          warmupOps, measureOps, seed);
 }
 
@@ -379,7 +382,8 @@ ResultTable::append(const ResultTable &other)
 const ResultRow *
 ResultTable::find(std::size_t workload_idx, std::size_t variant_idx,
                   std::size_t design_idx, std::size_t socket_idx,
-                  std::size_t dram_idx, std::size_t mapping_idx) const
+                  std::size_t dram_idx, std::size_t mapping_idx,
+                  std::size_t protocol_idx) const
 {
     for (const ResultRow &r : tableRows) {
         if (workload_idx != SIZE_MAX && r.workloadIdx != workload_idx)
@@ -393,6 +397,8 @@ ResultTable::find(std::size_t workload_idx, std::size_t variant_idx,
         if (dram_idx != SIZE_MAX && r.dramIdx != dram_idx)
             continue;
         if (mapping_idx != SIZE_MAX && r.mappingIdx != mapping_idx)
+            continue;
+        if (protocol_idx != SIZE_MAX && r.protocolIdx != protocol_idx)
             continue;
         return &r;
     }
@@ -414,7 +420,7 @@ ResultTable::sameRows(const ResultTable &other) const
 const char *
 ResultTable::schemaName()
 {
-    return "c3d-sweep/v1";
+    return "c3d-sweep/v2";
 }
 
 std::string

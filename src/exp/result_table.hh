@@ -35,6 +35,7 @@ class JsonValue;
 std::string identityKeyOf(const std::string &workload,
                           const std::string &variant,
                           const std::string &design,
+                          const std::string &protocol,
                           const std::string &mapping,
                           std::uint32_t sockets,
                           std::uint32_t cores_per_socket,
@@ -51,6 +52,7 @@ struct ResultRow
     std::string workload;
     std::string variant; //!< empty when the grid had no variants
     std::string design;
+    std::string protocol; //!< snoopy-family protocol variant
     std::string mapping;
     std::uint32_t sockets = 0;
     std::uint32_t coresPerSocket = 0;
@@ -64,6 +66,7 @@ struct ResultRow
     std::size_t workloadIdx = 0;
     std::size_t variantIdx = 0;
     std::size_t designIdx = 0;
+    std::size_t protocolIdx = 0;
     std::size_t socketIdx = 0;
     std::size_t dramIdx = 0;
     std::size_t mappingIdx = 0;
@@ -108,7 +111,8 @@ class ResultTable
                           std::size_t design_idx = SIZE_MAX,
                           std::size_t socket_idx = SIZE_MAX,
                           std::size_t dram_idx = SIZE_MAX,
-                          std::size_t mapping_idx = SIZE_MAX) const;
+                          std::size_t mapping_idx = SIZE_MAX,
+                          std::size_t protocol_idx = SIZE_MAX) const;
 
     /** Row-by-row sameAs comparison. */
     bool sameRows(const ResultTable &other) const;

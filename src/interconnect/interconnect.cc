@@ -148,6 +148,15 @@ Interconnect::send(SocketId src, SocketId dst, PacketKind kind,
             stallSpin(router.at(src));
             return;
         }
+        if (fault->takeBlock(now)) {
+            // Hard stall inside the *current* event: the executing
+            // kernel thread parks here until released. The in-band
+            // watchdog never sees it (its checks run between
+            // events); only the sibling wall-clock watchdog can
+            // contain the row.
+            faultBlockWait();
+            return; // once released, the packet is dropped (as Hang)
+        }
     }
 
     const std::uint32_t bytes = kind == PacketKind::Data

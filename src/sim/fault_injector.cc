@@ -1,5 +1,8 @@
 #include "sim/fault_injector.hh"
 
+#include <condition_variable>
+#include <mutex>
+
 #include "common/cli.hh"
 
 namespace c3d
@@ -17,8 +20,48 @@ faultKindName(FaultKind kind)
         return "hang";
       case FaultKind::StallMsg:
         return "stall-msg";
+      case FaultKind::Block:
+        return "block";
     }
     return "?";
+}
+
+namespace
+{
+// Process-wide latch backing the Block fault. A generation counter
+// (not a flag) so releases only wake threads already parked.
+/**
+ * The latch state is deliberately leaked (heap objects behind
+ * references): a blocked kernel thread abandoned by the sibling
+ * watchdog may still be waiting here at process exit, and running
+ * the destructor of a mutex/condvar with a waiter is undefined --
+ * it turned a contained row failure into a hang at exit. Process
+ * teardown reclaims everything.
+ */
+std::mutex &blockMu = *new std::mutex;
+std::condition_variable &blockCv = *new std::condition_variable;
+std::uint64_t blockGeneration = 0;
+std::size_t blockedNow = 0;
+} // namespace
+
+void
+faultBlockWait()
+{
+    std::unique_lock<std::mutex> lock(blockMu);
+    const std::uint64_t gen = blockGeneration;
+    ++blockedNow;
+    blockCv.wait(lock, [&] { return blockGeneration != gen; });
+    --blockedNow;
+}
+
+std::size_t
+releaseInjectedBlocks()
+{
+    std::lock_guard<std::mutex> lock(blockMu);
+    const std::size_t parked = blockedNow;
+    ++blockGeneration;
+    blockCv.notify_all();
+    return parked;
 }
 
 bool
@@ -34,8 +77,8 @@ parseFaultSpec(const std::string &text, FaultPlan &out,
     const std::size_t sep = spec.find('@');
     if (sep == std::string::npos) {
         error = "bad fault spec '" + text +
-            "' (want [par:]panic@TICK, [par:]hang@TICK or "
-            "[par:]stall-msg@N)";
+            "' (want [par:]panic@TICK, [par:]hang@TICK, "
+            "[par:]stall-msg@N or [par:]block@TICK)";
         return false;
     }
     const std::string kind = spec.substr(0, sep);
@@ -45,6 +88,8 @@ parseFaultSpec(const std::string &text, FaultPlan &out,
         plan.kind = FaultKind::Hang;
     else if (kind == "stall-msg")
         plan.kind = FaultKind::StallMsg;
+    else if (kind == "block")
+        plan.kind = FaultKind::Block;
     else {
         error = "unknown fault kind '" + kind + "'";
         return false;

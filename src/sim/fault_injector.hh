@@ -21,6 +21,12 @@
  *    replaced by a zero-delay self-rescheduling event, so the queue
  *    executes events forever without the clock advancing. Models a
  *    livelock; caught by the watchdog's no-progress detector.
+ *  - Block: the first inter-socket send at tick >= `at` blocks the
+ *    executing kernel thread *inside the current event* until
+ *    releaseInjectedBlocks() is called. Models a hard deadlock in a
+ *    single callback -- invisible to every in-band watchdog check
+ *    (those only run between events); only the sibling wall-clock
+ *    watchdog (runWithSiblingWatchdog) can contain it.
  *
  * Determinism: under the sequential kernels (single-queue and the
  * MultiQueue 1-worker oracle) send order is fully deterministic, so
@@ -50,9 +56,20 @@ enum class FaultKind : std::uint8_t
     Panic,    //!< raise c3d_panic at the first send at tick >= at
     Hang,     //!< swallow one packet at tick >= at (lost wakeup)
     StallMsg, //!< replace packet #at's delivery with a tick livelock
+    Block,    //!< block the kernel thread inside the event at >= at
 };
 
 const char *faultKindName(FaultKind kind);
+
+/**
+ * Park the calling thread until releaseInjectedBlocks() -- the Block
+ * fault's stall primitive. Lives here (not in a test) so the stall
+ * is reachable from the production injection chokepoint.
+ */
+void faultBlockWait();
+
+/** Wake every thread parked in faultBlockWait(); @return how many. */
+std::size_t releaseInjectedBlocks();
 
 /** One planned fault for one run. */
 struct FaultPlan
@@ -110,6 +127,15 @@ class FaultInjector
     takeHang(Tick now)
     {
         return enabled && plan.kind == FaultKind::Hang &&
+            now >= plan.at &&
+            !fired.exchange(true, std::memory_order_relaxed);
+    }
+
+    /** Block trigger; consumes the (single) firing. */
+    bool
+    takeBlock(Tick now)
+    {
+        return enabled && plan.kind == FaultKind::Block &&
             now >= plan.at &&
             !fired.exchange(true, std::memory_order_relaxed);
     }

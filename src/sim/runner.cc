@@ -63,14 +63,22 @@ Runner::enableTenantTracking(std::vector<std::int32_t> core_tenant,
     for (SocketId s = 0; s < cfg.numSockets; ++s) {
         std::vector<TenantStatSet *> by_core(cfg.coresPerSocket,
                                              nullptr);
+        std::vector<std::uint32_t> by_idx(cfg.coresPerSocket,
+                                          DramCache::NoTenant);
         for (std::uint32_t l = 0; l < cfg.coresPerSocket; ++l) {
             const std::size_t g =
                 static_cast<std::size_t>(s) * cfg.coresPerSocket + l;
-            if (g < coreTenant.size() && coreTenant[g] >= 0)
+            if (g < coreTenant.size() && coreTenant[g] >= 0) {
                 by_core[l] = &tenantSets[static_cast<std::size_t>(
                     coreTenant[g])];
+                by_idx[l] =
+                    static_cast<std::uint32_t>(coreTenant[g]);
+            }
         }
-        m->socket(s).setTenantStats(std::move(by_core));
+        m->socket(s).setTenantStats(std::move(by_core),
+                                    std::move(by_idx));
+        if (DramCache *dc = m->socket(s).dramCache())
+            dc->enableTenantTracking(n);
     }
 }
 
@@ -248,11 +256,26 @@ Runner::collectResult(Tick measured_ticks)
             tm.name = tenantNames[i];
             tm.loads = ts.loads.value();
             tm.stores = ts.stores.value();
-            tm.dramCacheHits = ts.dramCacheHits.value();
-            tm.dramCacheMisses = ts.dramCacheMisses.value();
             tm.latP50 = ts.memLatency.percentile(50);
             tm.latP95 = ts.memLatency.percentile(95);
             tm.latP99 = ts.memLatency.percentile(99);
+        }
+        // DRAM-cache attribution lives in the caches themselves;
+        // fold the per-socket tenant counters and the occupancy
+        // gauge machine-wide.
+        const SystemConfig &cfg = m->config();
+        for (SocketId s = 0; s < cfg.numSockets; ++s) {
+            const DramCache *dc = m->socket(s).dramCache();
+            if (!dc || !dc->tenantTrackingEnabled())
+                continue;
+            for (std::size_t i = 0; i < r.tenants.size(); ++i) {
+                const auto t = static_cast<std::uint32_t>(i);
+                r.tenants[i].dramCacheHits += dc->tenantHitCount(t);
+                r.tenants[i].dramCacheMisses +=
+                    dc->tenantMissCount(t);
+                r.tenants[i].dramCacheOccupancy +=
+                    dc->tenantOccupancy(t);
+            }
         }
         // Instructions are per-core state on the TraceCpus; fold
         // them per tenant via the core map.
@@ -265,6 +288,46 @@ Runner::collectResult(Tick measured_ticks)
     }
     return r;
 }
+
+namespace
+{
+
+/**
+ * Heap-owned state of one guarded run. When the sibling watchdog
+ * abandons a stuck run, its registry keeps this box alive, so the
+ * parked thread's references (workload, machine, result slot) stay
+ * valid after the caller's stack unwound.
+ */
+struct GuardedRun
+{
+    std::unique_ptr<Workload> wl;
+    std::unique_ptr<Runner> runner;
+    RunResult result;
+};
+
+/**
+ * Drive @p box->runner under the sibling wall-clock watchdog when a
+ * wall budget is set. The in-band wall check (WatchdogState) stays
+ * armed too and usually fires first; the sibling path exists for
+ * hard stalls inside a single event, which the in-band check can
+ * never observe.
+ */
+RunResult
+runGuarded(std::shared_ptr<GuardedRun> box, const RunOptions &opts,
+           std::uint64_t warmup_ops, std::uint64_t measure_ops)
+{
+    if (!opts.watchdog.wallMs)
+        return box->runner->run(warmup_ops, measure_ops);
+    runWithSiblingWatchdog(
+        opts.watchdog.wallMs,
+        [box, warmup_ops, measure_ops] {
+            box->result = box->runner->run(warmup_ops, measure_ops);
+        },
+        box);
+    return box->result;
+}
+
+} // namespace
 
 RunResult
 runWorkload(const SystemConfig &cfg,
@@ -296,23 +359,26 @@ runWorkload(const SystemConfig &cfg,
                       static_cast<unsigned long long>(
                           scaled_profile.compositionHash));
         }
-        ComposedWorkload wl(spec, scaled_profile.seed,
-                            cfg.totalCores());
-        Runner runner(cfg, wl, opts);
-        runner.enableTenantTracking(wl.coreTenants(),
-                                    wl.tenantNames());
-        return runner.run(warmup_ops, measure_ops);
+        auto box = std::make_shared<GuardedRun>();
+        auto wl = std::make_unique<ComposedWorkload>(
+            spec, scaled_profile.seed, cfg.totalCores());
+        box->runner = std::make_unique<Runner>(cfg, *wl, opts);
+        box->runner->enableTenantTracking(wl->coreTenants(),
+                                          wl->tenantNames());
+        box->wl = std::move(wl);
+        return runGuarded(std::move(box), opts, warmup_ops,
+                          measure_ops);
     }
+    auto box = std::make_shared<GuardedRun>();
     if (scaled_profile.isTrace()) {
-        TraceFileWorkload wl(scaled_profile.tracePath,
-                             scaled_profile.traceHash);
-        Runner runner(cfg, wl, opts);
-        return runner.run(warmup_ops, measure_ops);
+        box->wl = std::make_unique<TraceFileWorkload>(
+            scaled_profile.tracePath, scaled_profile.traceHash);
+    } else {
+        box->wl = std::make_unique<SyntheticWorkload>(
+            scaled_profile, cfg.totalCores(), cfg.coresPerSocket);
     }
-    SyntheticWorkload wl(scaled_profile, cfg.totalCores(),
-                         cfg.coresPerSocket);
-    Runner runner(cfg, wl, opts);
-    return runner.run(warmup_ops, measure_ops);
+    box->runner = std::make_unique<Runner>(cfg, *box->wl, opts);
+    return runGuarded(std::move(box), opts, warmup_ops, measure_ops);
 }
 
 } // namespace c3d

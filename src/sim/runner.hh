@@ -37,6 +37,9 @@ struct TenantMetrics
     std::uint64_t stores = 0;
     std::uint64_t dramCacheHits = 0;
     std::uint64_t dramCacheMisses = 0;
+    /** DRAM-cache blocks owned by the tenant at window close (live
+     * gauge, not reset at the warm-up boundary). */
+    std::uint64_t dramCacheOccupancy = 0;
     std::uint64_t latP50 = 0; //!< p50 memory latency (ticks)
     std::uint64_t latP95 = 0;
     std::uint64_t latP99 = 0;

@@ -122,6 +122,9 @@ Socket::accessLlcForRead(std::uint32_t core, Addr blk,
     eventq.schedule(cfg.llcTagLatency, [this, core, blk,
                                         done = std::move(done)]() mutable {
         if (dcache) {
+            // The tenant tag rides into the cache so hits/misses are
+            // counted exactly where the cache's own counters tick
+            // (exact attribution even under racing invalidations).
             dcache->probe(blk, [this, core, blk,
                                 done = std::move(done)]
                           (DramCacheProbe res) mutable {
@@ -131,16 +134,12 @@ Socket::accessLlcForRead(std::uint32_t core, Addr blk,
                 if (res.present && dcache->contains(blk)) {
                     // Local DRAM-cache hit: the fast path that makes
                     // private DRAM caches attack the NUMA bottleneck.
-                    if (TenantStatSet *t = tenantFor(core))
-                        ++t->dramCacheHits;
                     fillRead(core, blk);
                     done();
                 } else {
-                    if (TenantStatSet *t = tenantFor(core))
-                        ++t->dramCacheMisses;
                     issueGetS(core, blk, std::move(done));
                 }
-            });
+            }, /*always_access=*/false, tenantIdxFor(core));
         } else {
             issueGetS(core, blk, std::move(done));
         }
@@ -498,15 +497,17 @@ Socket::probeDowngrade(Addr addr, std::function<void(bool)> done)
 
 void
 Socket::snoopProbe(Addr addr, bool is_write,
-                   std::function<void(SnoopResult)> done)
+                   std::function<void(SnoopResult)> done,
+                   bool retain_dirty)
 {
     const Addr blk = blockAlign(addr);
 
-    auto on_chip = [this, blk, is_write,
+    auto on_chip = [this, blk, is_write, retain_dirty,
                     done = std::move(done)](bool dc_present,
                                             bool dc_dirty) mutable {
         eventq.schedule(cfg.localDirLatency,
-                        [this, blk, is_write, dc_present, dc_dirty,
+                        [this, blk, is_write, retain_dirty,
+                         dc_present, dc_dirty,
                          done = std::move(done)]() mutable {
             SnoopResult res;
             res.present = dc_present;
@@ -521,6 +522,19 @@ Socket::snoopProbe(Addr addr, bool is_write,
                 } else if (e->state == CacheState::Modified) {
                     e->state = CacheState::Shared;
                     downgradeL1Sharers(blk, e->aux);
+                    if (retain_dirty && dcache) {
+                        // MOESI owned state: the supplier forwards
+                        // the data but stays responsible for the
+                        // dirty block. The LLC downgrades (so local
+                        // stores re-arbitrate), and the dirtiness
+                        // parks in the DRAM cache until evicted.
+                        DramCacheVictim dv = dcache->insert(blk,
+                                                            true);
+                        if (dv.valid)
+                            protocol->dramCacheEvicted(socketId,
+                                                       dv.addr,
+                                                       dv.dirty);
+                    }
                 }
             }
             if (is_write && dcache) {
@@ -544,10 +558,10 @@ Socket::snoopProbe(Addr addr, bool is_write,
         } else {
             // §III-A: a snoop must search the DRAM cache; the full
             // access sits on the requester's critical path.
-            dcache->probe(blk, [this, blk,
+            dcache->probe(blk, [this, blk, retain_dirty,
                                 on_chip = std::move(on_chip)]
                           (DramCacheProbe res) mutable {
-                if (res.present && res.dirty) {
+                if (res.present && res.dirty && !retain_dirty) {
                     // Forwarding a dirty block cleans it (memory is
                     // updated by the requester-side protocol).
                     dcache->updateClean(blk);

@@ -54,15 +54,20 @@ class Socket
     /**
      * Per-tenant QoS attribution for composed workloads: @p by_core
      * maps each socket-local core to its tenant's stat set (nullptr
-     * for idle cores). An empty vector -- the default -- disables
-     * tenant accounting entirely. Attribution happens here because
-     * the socket is the deepest layer that still knows the
-     * requesting core.
+     * for idle cores) and @p tenant_idx to its tenant index
+     * (DramCache::NoTenant for idle). Empty vectors -- the default --
+     * disable tenant accounting entirely. Loads/stores and latency
+     * are attributed here (the deepest layer that still knows the
+     * requesting core); DRAM-cache hits/misses and block ownership
+     * are attributed inside the DRAM cache itself via the tenant tag
+     * threaded through probe().
      */
     void
-    setTenantStats(std::vector<TenantStatSet *> by_core)
+    setTenantStats(std::vector<TenantStatSet *> by_core,
+                   std::vector<std::uint32_t> tenant_idx)
     {
         tenantStats = std::move(by_core);
+        tenantIdx = std::move(tenant_idx);
     }
 
     SocketId id() const { return socketId; }
@@ -107,9 +112,13 @@ class Socket
      * Snoopy-protocol probe: search DRAM cache and LLC; a dirty copy
      * is supplied to the requester and transitions to clean/Shared
      * here. @p is_write additionally invalidates any found copy.
+     * With @p retain_dirty (MOESI owned state, Dragon), a read probe
+     * that finds dirty data supplies it but keeps the dirty copy
+     * (parked in the DRAM cache) instead of cleaning itself.
      */
     void snoopProbe(Addr addr, bool is_write,
-                    std::function<void(SnoopResult)> done);
+                    std::function<void(SnoopResult)> done,
+                    bool retain_dirty = false);
 
     // ---- structural helpers (used by protocol fills) -------------------
 
@@ -171,6 +180,14 @@ class Socket
         return core < tenantStats.size() ? tenantStats[core] : nullptr;
     }
 
+    /** Tenant index of local @p core; NoTenant when untracked. */
+    std::uint32_t
+    tenantIdxFor(std::uint32_t core) const
+    {
+        return core < tenantIdx.size() ? tenantIdx[core]
+                                       : DramCache::NoTenant;
+    }
+
     /** Sample socket + tenant load latency (done-callback helper). */
     void sampleLoadLatency(std::uint32_t core, Tick start);
 
@@ -221,6 +238,8 @@ class Socket
 
     /** Local core -> tenant stat set; empty = no tenant tracking. */
     std::vector<TenantStatSet *> tenantStats;
+    /** Local core -> tenant index (DramCache attribution tag). */
+    std::vector<std::uint32_t> tenantIdx;
 };
 
 } // namespace c3d

@@ -26,6 +26,17 @@
  * the 1-worker oracle) the trip point and its diagnostic are exactly
  * reproducible. Wall-clock trips are inherently timing-dependent;
  * they exist as a last-resort budget, not a differential surface.
+ *
+ * All of the above is *in-band*: the budgets are checked between
+ * events, so a hard stall inside a single event callback (a blocking
+ * wait, an unbounded loop that never returns to the kernel) escapes
+ * every check. runWithSiblingWatchdog() closes that hole: the run
+ * body executes on a sacrificial sibling thread while the calling
+ * thread waits out the wall budget independently of event progress.
+ * A run that blows the budget is *abandoned* -- the stuck thread
+ * cannot be interrupted safely, so it is parked in a registry
+ * together with a keep-alive reference to everything it may still
+ * touch, and the caller gets a SimError it can contain per row.
  */
 
 #ifndef C3DSIM_SIM_WATCHDOG_HH
@@ -33,7 +44,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 namespace c3d
 {
@@ -101,6 +115,31 @@ class WatchdogState
     std::atomic<std::uint64_t> totalEvents{0};
     std::chrono::steady_clock::time_point deadline{};
 };
+
+/**
+ * Execute @p body on a sacrificial sibling thread, waiting at most
+ * @p wall_ms milliseconds for it to finish (0: run inline, no
+ * watchdog). Completion within budget behaves exactly like a direct
+ * call -- the sibling runs the identical code, so armed runs stay
+ * bit-identical -- and any exception the body raises is rethrown
+ * here. On timeout the stuck thread is abandoned into a registry
+ * (holding @p keep_alive so the state it references outlives the
+ * caller) and c3d_panic raises a catchable SimError on the calling
+ * thread, which still holds the row's ErrorIdentityScope.
+ */
+void runWithSiblingWatchdog(std::uint64_t wall_ms,
+                            std::function<void()> body,
+                            std::shared_ptr<void> keep_alive = nullptr);
+
+/** Number of abandoned sibling-watchdog threads still parked. */
+std::size_t abandonedWatchdogThreads();
+
+/**
+ * Join and drop every abandoned thread whose body has since
+ * finished (e.g. a test released the injected stall). @return how
+ * many were reaped; still-stuck threads stay parked.
+ */
+std::size_t reapAbandonedWatchdogThreads();
 
 } // namespace c3d
 

@@ -9,10 +9,6 @@ TenantStatSet::init(StatGroup *group, std::uint32_t idx)
     const std::string prefix = "tenant" + std::to_string(idx) + ".";
     loads.init(group, prefix + "loads", "tenant loads issued");
     stores.init(group, prefix + "stores", "tenant stores issued");
-    dramCacheHits.init(group, prefix + "dram_cache_hits",
-                       "tenant accesses hitting the DRAM cache");
-    dramCacheMisses.init(group, prefix + "dram_cache_misses",
-                         "tenant accesses missing the DRAM cache");
     memLatency.init(group, prefix + "mem_latency",
                     "tenant end-to-end memory latency (ticks)");
 }

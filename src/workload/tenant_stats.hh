@@ -5,10 +5,12 @@
  * One TenantStatSet per tenant, registered with the machine's
  * StatGroup (so the warm-up resetAll() covers it) and attributed at
  * the layers that know the requesting core: Socket entry points
- * count loads/stores and sample end-to-end memory latency, and the
- * DRAM-cache probe callback counts per-tenant hits/misses. Deeper
- * components (MemoryController, directory) have no requester on
- * their interfaces, so their traffic stays machine-level only.
+ * count loads/stores and sample end-to-end memory latency. DRAM-cache
+ * hit/miss/occupancy attribution lives inside DramCache itself (a
+ * tenant tag rides on probe()), so those counters tick exactly where
+ * the cache's own counters do. Deeper components (MemoryController,
+ * directory) have no requester on their interfaces, so their traffic
+ * stays machine-level only.
  */
 
 #ifndef C3DSIM_WORKLOAD_TENANT_STATS_HH
@@ -26,8 +28,6 @@ struct TenantStatSet
 {
     Counter loads;
     Counter stores;
-    Counter dramCacheHits;
-    Counter dramCacheMisses;
     /** End-to-end CPU-visible memory latency (loads and stores). */
     Histogram memLatency;
 

@@ -251,5 +251,56 @@ TEST(DramCache, SlowerLatencyConfigRespected)
     EXPECT_GE(done, nsToTicks(50));
 }
 
+TEST(DramCache, TenantAttributionAndOccupancy)
+{
+    EventQueue eq;
+    StatGroup g("t");
+    SystemConfig cfg = dcConfig(Design::FullDir);
+    DramCache dc(eq, cfg, 0, &g);
+    dc.enableTenantTracking(2);
+    ASSERT_TRUE(dc.tenantTrackingEnabled());
+
+    // Tenant 0 fills a block and hits on it.
+    dc.insert(0x1000, false, 0);
+    EXPECT_EQ(dc.tenantOccupancy(0), 1u);
+    EXPECT_EQ(dc.tenantOccupancy(1), 0u);
+    bool present = false;
+    dc.probe(0x1000, [&](DramCacheProbe r) { present = r.present; },
+             false, 0);
+    eq.run();
+    EXPECT_TRUE(present);
+    EXPECT_EQ(dc.tenantHitCount(0), 1u);
+    EXPECT_EQ(dc.tenantMissCount(0), 0u);
+
+    // Tenant 1 misses on an absent block (predictor short-circuit
+    // path): the miss is attributed to tenant 1, not tenant 0.
+    dc.probe(0x2000, [](DramCacheProbe) {}, false, 1);
+    eq.run();
+    EXPECT_EQ(dc.tenantMissCount(1), 1u);
+    EXPECT_EQ(dc.tenantHitCount(1), 0u);
+    EXPECT_EQ(dc.tenantMissCount(0), 0u);
+
+    // A hit by tenant 1 on tenant 0's block re-owns it: occupancy is
+    // a last-toucher gauge.
+    dc.probe(0x1000, [](DramCacheProbe) {}, false, 1);
+    eq.run();
+    EXPECT_EQ(dc.tenantHitCount(1), 1u);
+    EXPECT_EQ(dc.tenantOccupancy(0), 0u);
+    EXPECT_EQ(dc.tenantOccupancy(1), 1u);
+
+    // A conflict eviction releases the victim's occupancy as it
+    // charges the inserter's.
+    const Addr conflict = dc.capacityBlocks() * BlockBytes + 0x1000;
+    dc.insert(conflict, false, 0);
+    EXPECT_EQ(dc.tenantOccupancy(1), 0u);
+    EXPECT_EQ(dc.tenantOccupancy(0), 1u);
+
+    // Invalidation drops the owner's occupancy too.
+    dc.invalidate(conflict, [](bool, bool) {});
+    eq.run();
+    EXPECT_EQ(dc.tenantOccupancy(0), 0u);
+    EXPECT_EQ(dc.tenantOccupancy(1), 0u);
+}
+
 } // namespace
 } // namespace c3d

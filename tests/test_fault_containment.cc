@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.hh"
@@ -75,6 +77,10 @@ TEST(FaultSpec, ParsesEveryKind)
     ASSERT_TRUE(parseFaultSpec("par:panic@12", plan, error)) << error;
     EXPECT_EQ(plan.kind, FaultKind::Panic);
     EXPECT_TRUE(plan.parallelOnly);
+
+    ASSERT_TRUE(parseFaultSpec("block@9", plan, error)) << error;
+    EXPECT_EQ(plan.kind, FaultKind::Block);
+    EXPECT_EQ(plan.at, 9u);
 }
 
 TEST(FaultSpec, RejectsMalformedSpecs)
@@ -312,6 +318,100 @@ TEST(SweepFailPolicy, RetryRecoversViaSequentialFallback)
     ASSERT_EQ(table.rows().size(), 2u);
     for (std::size_t i = 0; i < 2; ++i)
         EXPECT_TRUE(table.rows()[i].sameAs(clean.rows()[i]));
+}
+
+/** Unpark the injected Block and join the abandoned thread. */
+void
+releaseAndReap()
+{
+    // The released thread resumes its run, hits the dropped-packet
+    // lost-wakeup panic, and finishes; poll until reap joins it.
+    for (int i = 0; i < 2000; ++i) {
+        releaseInjectedBlocks();
+        if (abandonedWatchdogThreads() == 0)
+            return;
+        reapAbandonedWatchdogThreads();
+        if (abandonedWatchdogThreads() == 0)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    FAIL() << "abandoned watchdog thread never finished";
+}
+
+TEST(SiblingWatchdog, ContainsHardStallInsideOneEvent)
+{
+    // A Block fault stalls the kernel thread *inside* an event, so
+    // neither the stall detector nor the in-band wall check can ever
+    // run; only the sibling wall-clock watchdog reports it.
+    FaultPlan fault;
+    fault.kind = FaultKind::Block;
+    fault.at = 0;
+    WatchdogLimits wd;
+    wd.wallMs = 200;
+    try {
+        runWithFault(fault, wd);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("sibling watchdog"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_EQ(abandonedWatchdogThreads(), 1u);
+    releaseAndReap();
+}
+
+TEST(SiblingWatchdog, SkipContainsDeadlockedRow)
+{
+    const exp::SweepGrid grid = containmentGrid();
+    exp::SweepEngine clean_engine(1);
+    const exp::ResultTable clean = clean_engine.run(grid);
+
+    exp::SweepEngine engine(2);
+    engine.setFailPolicy(exp::FailPolicy::Skip);
+    std::vector<exp::RowFailure> failures;
+    engine.setFailureSink([&](const exp::RowFailure &f) {
+        failures.push_back(f);
+    });
+    const exp::ResultTable table =
+        engine.run(grid, [](const exp::RunSpec &spec) {
+            RunOptions o;
+            if (spec.index == 1) {
+                o.fault.kind = FaultKind::Block;
+                o.fault.at = 0;
+                o.watchdog.wallMs = 200;
+            }
+            return exp::SweepEngine::simulateSpec(spec, o);
+        });
+
+    // The deadlocked row is contained and named; the survivor is
+    // byte-identical to the clean run.
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].index, 1u);
+    EXPECT_EQ(failures[0].identity,
+              exp::specIdentityKey(grid.expand()[1]));
+    EXPECT_NE(failures[0].error.find("sibling watchdog"),
+              std::string::npos)
+        << failures[0].error;
+    ASSERT_EQ(table.rows().size(), 1u);
+    EXPECT_TRUE(table.rows()[0].sameAs(clean.rows()[0]));
+    releaseAndReap();
+}
+
+TEST(SiblingWatchdog, ArmedRunMatchesDirectRun)
+{
+    // Observation-only: a generous wall budget routes the run
+    // through the sacrificial thread but must not perturb a single
+    // metric.
+    const RunResult direct = runWithFault(FaultPlan{});
+    WatchdogLimits wd;
+    wd.wallMs = 600000;
+    const RunResult sibling = runWithFault(FaultPlan{}, wd);
+    EXPECT_EQ(direct.measuredTicks, sibling.measuredTicks);
+    EXPECT_EQ(direct.instructions, sibling.instructions);
+    EXPECT_EQ(direct.memReads, sibling.memReads);
+    EXPECT_EQ(direct.memWrites, sibling.memWrites);
+    EXPECT_EQ(direct.interSocketBytes, sibling.interSocketBytes);
+    EXPECT_EQ(abandonedWatchdogThreads(), 0u);
 }
 
 TEST(SweepFailPolicy, RetryExhaustionFallsBackToSkip)

@@ -250,7 +250,7 @@ TEST(Journal, HeaderValidation)
         "{\"schema\": \"bogus/v9\", \"total\": 1, \"grid\": \"x\"}\n",
         data, error));
     EXPECT_FALSE(exp::parseJournal(
-        "{\"schema\": \"c3d-sweep-journal/v1\", \"grid\": \"x\"}\n",
+        "{\"schema\": \"c3d-sweep-journal/v2\", \"grid\": \"x\"}\n",
         data, error));
 
     // Header-only journals are valid (a sweep that crashed before

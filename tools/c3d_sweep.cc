@@ -58,6 +58,11 @@ const char *const Usage =
     "grid axes (comma-separated lists):\n"
     "  --designs=A,B          baseline|snoopy|full-dir|c3d|"
     "c3d-full-dir (default c3d)\n"
+    "  --protocols=A,B        mesi|mesif|moesi|dragon (default mesi);\n"
+    "                         snoopy-family protocol variants --\n"
+    "                         directory designs keep their fixed\n"
+    "                         engines but still name the protocol in\n"
+    "                         the row identity\n"
     "  --workloads=A,B|all    paper profile names (default facesim);\n"
     "                         'all' = the nine parallel profiles;\n"
     "                         'trace:FILE' = replay a c3dsim trace\n"
@@ -335,6 +340,20 @@ parseSweepCli(int argc, char **argv)
             }
             if (cli.grid.designs.empty()) {
                 cli.error = "empty design list";
+                return cli;
+            }
+        } else if (key == "protocols") {
+            cli.grid.protocols.clear();
+            for (const std::string &name : splitList(value)) {
+                Protocol p;
+                if (!parseProtocol(name, p)) {
+                    cli.error = "unknown protocol '" + name + "'";
+                    return cli;
+                }
+                cli.grid.protocols.push_back(p);
+            }
+            if (cli.grid.protocols.empty()) {
+                cli.error = "empty protocol list";
                 return cli;
             }
         } else if (key == "workloads") {
