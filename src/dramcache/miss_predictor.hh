@@ -23,12 +23,18 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "dramcache/presence_predictor.hh"
 
 namespace c3d
 {
 
-/** Counting presence filter over memory regions. */
-class MissPredictor
+/**
+ * Counting presence filter over memory regions. Admission is
+ * unconditional (every LLC victim is cached), which is the paper's
+ * fill policy; the perceptron predictor derives from this class to
+ * reuse the presence machinery and overrides only the admission side.
+ */
+class MissPredictor : public PresencePredictor
 {
   public:
     void
@@ -47,9 +53,17 @@ class MissPredictor
                           "present predictions that probed and missed");
     }
 
+    void
+    configure(const SystemConfig &cfg, StatGroup *stats,
+              const std::string &name) override
+    {
+        init(cfg.missPredictorEntries, cfg.missPredictorRegionBytes,
+             stats, name);
+    }
+
     /** Predict whether the block at @p addr may be cached. */
     bool
-    mayBePresent(Addr addr)
+    mayBePresent(Addr addr) override
     {
         ++queries;
         const bool present = counters[slot(addr)] > 0;
@@ -59,11 +73,11 @@ class MissPredictor
     }
 
     /** Record that a probe made on a "present" prediction missed. */
-    void recordFalsePresent() { ++falsePresent; }
+    void recordFalsePresent() override { ++falsePresent; }
 
     /** Account a query answered exactly (MissMap mode). */
     void
-    recordExactQuery(bool present)
+    recordExactQuery(bool present) override
     {
         ++queries;
         if (!present)
@@ -71,23 +85,36 @@ class MissPredictor
     }
 
     /** A block in this region was inserted into the DRAM cache. */
-    void onInsert(Addr addr) { ++counters[slot(addr)]; }
+    void onInsert(Addr addr) override { ++counters[slot(addr)]; }
 
     /** A block in this region left the DRAM cache. */
     void
-    onRemove(Addr addr)
+    onRemove(Addr addr) override
     {
         auto &c = counters[slot(addr)];
         c3d_assert(c > 0, "predictor counter underflow");
         --c;
     }
 
-    std::uint64_t absentPredictions() const
+    /** The paper's fill policy: every LLC victim is cached. */
+    bool admit(Addr, std::uint32_t) override { return true; }
+    void trainOnProbe(Addr, std::uint32_t, bool) override {}
+
+    std::uint64_t trainEvents() const override { return 0; }
+    std::uint64_t bypassEvents() const override { return 0; }
+    std::uint64_t ghostHits() const override { return 0; }
+    std::uint64_t
+    falsePresents() const override
+    {
+        return falsePresent.value();
+    }
+
+    std::uint64_t absentPredictions() const override
     {
         return predictedAbsent.value();
     }
 
-  private:
+  protected:
     std::uint32_t
     slot(Addr addr) const
     {

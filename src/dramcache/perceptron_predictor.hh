@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hashed-perceptron DRAM-cache admission predictor with a ghost
+ * buffer, after the COALESCE recipe (SNIPPETS.md Snippet 1;
+ * docs/predictors.md).
+ *
+ * Presence filtering is inherited unchanged from MissPredictor --
+ * the counting region filter keeps its never-hide-a-present-block
+ * guarantee, so this predictor is as safe as the paper's for dirty
+ * designs. What the perceptron adds is an *admission gate*: each
+ * clean LLC victim is cached only when the sum of saturating integer
+ * weights, looked up by hashed features of the fill address, clears
+ * a threshold. Streaming lines (touched once, never re-probed) train
+ * the weights down and stop polluting the cache; reused lines train
+ * them up.
+ *
+ * Features (each indexes its own weight table):
+ *  1. the memory region number,
+ *  2. the requesting tenant (composed workloads) folded with the
+ *     region,
+ *  3. a fold of recently probed region numbers (path history).
+ *
+ * Training is online and purely event-driven: every demand probe
+ * outcome is a labeled example (hit = the cached line was useful;
+ * miss = it was not there, i.e. caching traffic like it has not been
+ * paying off). A **ghost buffer** -- a compact Bloom filter over
+ * recently evicted lines -- separates the two kinds of miss: a miss
+ * that ghost-hits means the line *was* cached and got evicted before
+ * its reuse arrived, so it trains toward caching instead of bypass.
+ * The filter self-clears after a fixed number of recorded evictions
+ * to bound its false-positive rate; the clear is deterministic
+ * (eviction-count driven, no clocks).
+ *
+ * All state is per-socket and touched only from the socket's own
+ * event queue, so training order -- and therefore every weight and
+ * every decision -- is byte-identical between the sequential and
+ * parallel kernels.
+ */
+
+#ifndef C3DSIM_DRAMCACHE_PERCEPTRON_PREDICTOR_HH
+#define C3DSIM_DRAMCACHE_PERCEPTRON_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dramcache/miss_predictor.hh"
+
+namespace c3d
+{
+
+/** Perceptron cache/bypass gate over the region presence filter. */
+class PerceptronPredictor : public MissPredictor
+{
+  public:
+    void configure(const SystemConfig &cfg, StatGroup *stats,
+                   const std::string &name) override;
+
+    bool admit(Addr addr, std::uint32_t tenant) override;
+    void trainOnProbe(Addr addr, std::uint32_t tenant,
+                      bool hit) override;
+    void onRemove(Addr addr) override;
+
+    std::uint64_t trainEvents() const override
+    {
+        return trains.value();
+    }
+    std::uint64_t bypassEvents() const override
+    {
+        return bypasses.value();
+    }
+    std::uint64_t ghostHits() const override
+    {
+        return ghostHitCount.value();
+    }
+
+    // ---- inspection (tests) -------------------------------------------
+    /** Current weight sum for (addr, tenant) -- the admit margin. */
+    std::int32_t weightSum(Addr addr, std::uint32_t tenant) const;
+    /** Whether the ghost buffer currently matches @p addr. */
+    bool ghostContains(Addr addr) const;
+
+  private:
+    static constexpr std::size_t NumFeatures = 3;
+
+    /** Per-feature weight-table indices for (addr, tenant). */
+    void featureIndices(Addr addr, std::uint32_t tenant,
+                        std::uint32_t idx[NumFeatures]) const;
+    /** Saturating +/-1 update of every feature weight. */
+    void adjust(const std::uint32_t idx[NumFeatures], int direction);
+
+    void ghostInsert(Addr addr);
+
+    std::vector<std::int32_t> weights; //!< NumFeatures concatenated
+    std::uint32_t tableEntries = 0;    //!< per feature, power of two
+    std::int32_t weightMax = 31;
+    std::int32_t threshold = 0;
+    std::int32_t trainMargin = 8;
+
+    /** Fold of recently probed region numbers (path history). */
+    std::uint64_t historyFold = 0;
+
+    std::vector<std::uint64_t> ghostBits;
+    std::uint32_t ghostMask = 0;  //!< bit-index mask (bits - 1)
+    std::uint32_t ghostInserts = 0;
+    std::uint32_t ghostResetAt = 4096;
+
+    Counter trains;
+    Counter bypasses;
+    Counter ghostHitCount;
+};
+
+} // namespace c3d
+
+#endif // C3DSIM_DRAMCACHE_PERCEPTRON_PREDICTOR_HH

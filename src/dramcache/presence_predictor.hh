@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DRAM-cache predictor interface (docs/predictors.md).
+ *
+ * Two orthogonal jobs live behind this interface:
+ *
+ *  - **presence filtering** (mayBePresent / onInsert / onRemove):
+ *    short-circuit probes for blocks that cannot be cached. The
+ *    contract is strict: a present block must NEVER be reported
+ *    absent, or a dirty block could be hidden from a coherence probe
+ *    (§III-A). Implementations are exact (MissMap, handled by the
+ *    cache itself) or conservative (counting region filter).
+ *
+ *  - **admission gating** (admit / trainOnProbe): decide whether an
+ *    LLC victim is worth caching at all. This side is free to be
+ *    wrong in either direction -- a bad admission decision costs
+ *    performance, never correctness -- so it is where learned
+ *    predictors (the hashed perceptron) plug in.
+ *
+ * Dirty blocks are always admitted regardless of the gate: a bypassed
+ * dirty victim would have to be written back to memory anyway, and
+ * the dirty designs rely on the DRAM cache to hold modified data.
+ */
+
+#ifndef C3DSIM_DRAMCACHE_PRESENCE_PREDICTOR_HH
+#define C3DSIM_DRAMCACHE_PRESENCE_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace c3d
+{
+
+/** Presence filter + admission gate for one socket's DRAM cache. */
+class PresencePredictor
+{
+  public:
+    virtual ~PresencePredictor() = default;
+
+    /** Size tables and register counters under @p name. */
+    virtual void configure(const SystemConfig &cfg, StatGroup *stats,
+                           const std::string &name) = 0;
+
+    // ---- presence (exact-or-conservative; see file comment) -----------
+    virtual bool mayBePresent(Addr addr) = 0;
+    /** Account a query answered exactly by the cache (MissMap mode). */
+    virtual void recordExactQuery(bool present) = 0;
+    /** A probe made on a "present" prediction missed. */
+    virtual void recordFalsePresent() = 0;
+    /** A block entered the DRAM cache. */
+    virtual void onInsert(Addr addr) = 0;
+    /** A block left the DRAM cache (eviction or invalidation). */
+    virtual void onRemove(Addr addr) = 0;
+
+    // ---- admission (free to be wrong; docs/predictors.md) -------------
+    /** Should the clean LLC victim at @p addr be cached? Callers must
+     * admit dirty victims unconditionally. */
+    virtual bool admit(Addr addr, std::uint32_t tenant) = 0;
+    /** Online training signal: a demand probe for @p addr hit or
+     * missed the DRAM cache. */
+    virtual void trainOnProbe(Addr addr, std::uint32_t tenant,
+                              bool hit) = 0;
+
+    // ---- accuracy counters (surfaced per sweep row) --------------------
+    virtual std::uint64_t trainEvents() const = 0;
+    virtual std::uint64_t bypassEvents() const = 0;
+    virtual std::uint64_t ghostHits() const = 0;
+    virtual std::uint64_t falsePresents() const = 0;
+    virtual std::uint64_t absentPredictions() const = 0;
+};
+
+/** Build the predictor selected by @p cfg.predictorKind. */
+std::unique_ptr<PresencePredictor>
+makePresencePredictor(const SystemConfig &cfg);
+
+} // namespace c3d
+
+#endif // C3DSIM_DRAMCACHE_PRESENCE_PREDICTOR_HH

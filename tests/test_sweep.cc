@@ -244,7 +244,7 @@ TEST(ResultTable, RejectsMalformedInput)
     // (The trailing empty field is the tenants column.)
     const std::string header = exp::ResultTable().toCsv();
     const std::string good =
-        "w,,c3d,mesi,FT2,4,8,32,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,1.0,";
+        "w,,c3d,mesi,region,FT2,4,8,32,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,1.0,";
     EXPECT_TRUE(exp::ResultTable::fromCsv(header + good + "\n",
                                           parsed, error)) << error;
     std::string empty_field = good;
@@ -301,7 +301,7 @@ TEST(ResultTable, RejectsBadIpcColumn)
     // non-numeric token or a renamed header is not our schema.
     const std::string header = exp::ResultTable().toCsv();
     const std::string good =
-        "w,,c3d,mesi,FT2,4,8,32,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,1.0,";
+        "w,,c3d,mesi,region,FT2,4,8,32,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,1.0,";
     ASSERT_TRUE(exp::ResultTable::fromCsv(header + good + "\n",
                                           parsed, error)) << error;
     std::string bad_field = good;

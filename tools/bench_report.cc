@@ -36,6 +36,11 @@
  *    panic injected into one row under --fail-policy=skip must
  *    contain exactly that failure and leave the surviving row
  *    identical to a clean run's (exit non-zero otherwise).
+ *  - predictors: the admission-gate matrix (facesim and canneal on
+ *    the C3D design under both --predictors kinds), reporting the
+ *    DRAM-cache hit rate and IPC side by side with the training
+ *    counters, so a regression in either gate shows up in the
+ *    report with the counters that explain it (docs/predictors.md).
  *
  * The tool exits non-zero if any scheduled callback fell back to a
  * heap allocation during the end-to-end row: the simulator's capture
@@ -187,6 +192,20 @@ struct Report
     double wdOverheadPct = 0;
     std::size_t containedFaults = 0;
     bool containmentSurvivorsMatch = true;
+
+    /** One workload x predictor cell of the admission-gate matrix. */
+    struct PredictorCell
+    {
+        std::string workload;
+        std::string predictor;
+        double hitRate = 0;
+        double ipc = 0;
+        std::uint64_t trains = 0;
+        std::uint64_t bypasses = 0;
+        std::uint64_t ghostHits = 0;
+        std::uint64_t falsePresent = 0;
+    };
+    std::vector<PredictorCell> predictorCells;
 };
 
 void
@@ -455,6 +474,44 @@ benchRobustness(Report &rep)
 }
 
 void
+benchPredictors(Report &rep)
+{
+    // The admission-gate matrix (docs/predictors.md): the same
+    // workloads on the C3D design under both predictors, reporting
+    // DRAM-cache hit rate and IPC side by side so a regression in
+    // either gate is visible in the report, next to the counters
+    // that explain it (trains/bypasses/ghost hits/false present).
+    c3d::exp::SweepGrid grid;
+    grid.workloads = {c3d::profileByName("facesim"),
+                      c3d::profileByName("canneal")};
+    grid.designs = {c3d::Design::C3D};
+    grid.predictors = {c3d::PredictorKind::Region,
+                       c3d::PredictorKind::Perceptron};
+    grid.sockets = {4};
+    grid = c3d::exp::quickPreset(std::move(grid));
+    if (!rep.quick)
+        grid.measureOps = 8000;
+
+    c3d::exp::SweepEngine engine(1);
+    const c3d::exp::ResultTable table = engine.run(grid);
+    for (const c3d::exp::ResultRow &row : table.rows()) {
+        Report::PredictorCell cell;
+        cell.workload = row.workload;
+        cell.predictor = row.predictor;
+        const double accesses = static_cast<double>(
+            row.metrics.dramCacheHits + row.metrics.dramCacheMisses);
+        cell.hitRate = accesses > 0
+            ? row.metrics.dramCacheHits / accesses : 0.0;
+        cell.ipc = row.metrics.ipc();
+        cell.trains = row.metrics.predictorTrains;
+        cell.bypasses = row.metrics.predictorBypasses;
+        cell.ghostHits = row.metrics.predictorGhostHits;
+        cell.falsePresent = row.metrics.predictorFalsePresent;
+        rep.predictorCells.push_back(cell);
+    }
+}
+
+void
 writeJson(std::FILE *f, const Report &rep)
 {
     // Pre-PR reference, for context next to the live replica number:
@@ -542,7 +599,27 @@ writeJson(std::FILE *f, const Report &rep)
                  static_cast<unsigned long long>(rep.containedFaults));
     std::fprintf(f, "    \"survivors_match_clean_run\": %s\n",
                  rep.containmentSurvivorsMatch ? "true" : "false");
-    std::fprintf(f, "  }\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"predictors\": [\n");
+    for (std::size_t i = 0; i < rep.predictorCells.size(); ++i) {
+        const Report::PredictorCell &c = rep.predictorCells[i];
+        std::fprintf(f, "    {\"workload\": \"%s\", ",
+                     c.workload.c_str());
+        std::fprintf(f, "\"predictor\": \"%s\", ",
+                     c.predictor.c_str());
+        std::fprintf(f, "\"dram_cache_hit_rate\": %.4f, ", c.hitRate);
+        std::fprintf(f, "\"ipc\": %.4f, ", c.ipc);
+        std::fprintf(f, "\"trains\": %llu, ",
+                     static_cast<unsigned long long>(c.trains));
+        std::fprintf(f, "\"bypasses\": %llu, ",
+                     static_cast<unsigned long long>(c.bypasses));
+        std::fprintf(f, "\"ghost_hits\": %llu, ",
+                     static_cast<unsigned long long>(c.ghostHits));
+        std::fprintf(f, "\"false_present\": %llu}%s\n",
+                     static_cast<unsigned long long>(c.falsePresent),
+                     i + 1 < rep.predictorCells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");
 }
 
@@ -572,6 +649,7 @@ main(int argc, char **argv)
     benchEndToEnd(rep);
     benchParallelKernel(rep);
     benchRobustness(rep);
+    benchPredictors(rep);
 
     if (out == "-") {
         writeJson(stdout, rep);
@@ -605,6 +683,19 @@ main(int argc, char **argv)
                      : 0.0,
                  rep.parKernelThreads, rep.hostHwThreads,
                  rep.parKernelMetricsMatch ? "match" : "DIVERGE");
+
+    for (const Report::PredictorCell &c : rep.predictorCells) {
+        std::fprintf(stderr,
+                     "predictor %s/%s: hit rate %.3f, ipc %.4f "
+                     "(%llu trains, %llu bypasses, %llu ghost hits, "
+                     "%llu false present)\n",
+                     c.workload.c_str(), c.predictor.c_str(),
+                     c.hitRate, c.ipc,
+                     static_cast<unsigned long long>(c.trains),
+                     static_cast<unsigned long long>(c.bypasses),
+                     static_cast<unsigned long long>(c.ghostHits),
+                     static_cast<unsigned long long>(c.falsePresent));
+    }
 
     std::fprintf(stderr,
                  "robustness: watchdog overhead %.2f%% "

@@ -6,7 +6,7 @@
  * Usage:  bench-smoke <mode> <binary> [args...]
  *
  * Modes:
- *   table      stdout must parse as the c3d-sweep/v2 result schema
+ *   table      stdout must parse as the current c3d-sweep result schema
  *              and contain at least one row (sweep-engine benches).
  *   json       stdout must parse as any non-empty JSON value
  *              (benches with their own schema: google-benchmark,
